@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark drivers.
+
+Each benchmark regenerates one table or figure of the paper.  The underlying
+experiments are full simulation sweeps, so every benchmark is run exactly
+once (``rounds=1``) — the interesting output is the regenerated table, not a
+timing distribution.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,60 @@
+"""Appendix A — message and authenticator complexity of PBFT vs Ladon-PBFT
+vs Ladon-opt, plus a measured cross-check on the simulator.
+
+Paper: Ladon-PBFT raises the pre-prepare phase from O(n) to O(n^2) units of
+rank information (and O(n) extra verifications per backup); Ladon-opt's
+aggregate signatures restore O(n) / O(1).  Total protocol complexity stays
+O(n^2) for all three.
+"""
+
+from repro.bench import experiments
+from repro.bench.config import ExperimentCell
+from repro.bench.report import format_table
+from repro.bench.runner import run_des_cell
+
+from conftest import run_once
+
+
+def test_appendix_a_analytical_complexity(benchmark):
+    rows = run_once(benchmark, experiments.appendix_a_complexity, replica_counts=(4, 16, 64, 128))
+    print()
+    print(format_table(
+        rows,
+        ["protocol", "n", "pre_prepare_units", "backup_verifications_pre_prepare", "total_messages"],
+        title="Appendix A — per-round complexity profiles",
+    ))
+    by = {(r["protocol"], r["n"]): r for r in rows}
+    for n in (16, 64, 128):
+        pbft = by[("pbft", n)]
+        ladon = by[("ladon-pbft", n)]
+        opt = by[("ladon-opt", n)]
+        # Ladon-PBFT pre-prepare rank data grows ~quorum times faster than PBFT's.
+        assert ladon["pre_prepare_units"] > 10 * pbft["pre_prepare_units"] or n < 32
+        # Ladon-opt collapses it back to PBFT's O(n).
+        assert opt["pre_prepare_units"] == pbft["pre_prepare_units"]
+        assert opt["backup_verifications_pre_prepare"] == 1
+        # Total message complexity stays the same order.
+        assert ladon["total_messages"] <= pbft["total_messages"] + 2 * n
+
+
+def test_appendix_a_measured_pre_prepare_bytes(benchmark):
+    """Cross-check on the simulator: Ladon-opt's pre-prepare traffic is smaller
+    than Ladon-PBFT's for the same workload (the aggregate-signature saving)."""
+
+    def run_pair():
+        results = {}
+        for protocol in ("ladon-pbft", "ladon-opt"):
+            cell = ExperimentCell(
+                protocol=protocol, n=7, duration=8.0, batch_size=16,
+                total_block_rate=8.0, environment="lan", engine="des",
+            )
+            results[protocol] = run_des_cell(cell)
+        return results
+
+    results = run_once(benchmark, run_pair)
+    plain_bytes = results["ladon-pbft"].network_stats.bytes_sent
+    opt_bytes = results["ladon-opt"].network_stats.bytes_sent
+    print()
+    print(f"ladon-pbft bytes sent: {plain_bytes}")
+    print(f"ladon-opt  bytes sent: {opt_bytes}")
+    assert opt_bytes < plain_bytes

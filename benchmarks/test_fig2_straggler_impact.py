@@ -1,0 +1,51 @@
+"""Fig. 2 — the cost of pre-determined global ordering under stragglers.
+
+* Fig. 2a (analytical): queued partially committed blocks and ordering delay
+  grow without bound under pre-determined ordering, stay bounded under
+  dynamic ordering.
+* Fig. 2b (experimental): ISS-PBFT with 0, 1 and 3 stragglers in WAN — with
+  stragglers the maximum throughput collapses (paper: -89.7% with one
+  straggler) and latency explodes (paper: up to 12x).
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+from conftest import run_once
+
+
+def test_fig2a_analytical_straggler_model(benchmark):
+    data = run_once(benchmark, experiments.fig2a_analytical, rounds=100)
+    predetermined = data["predetermined_queued"]
+    dynamic = data["dynamic_queued"]
+    # Backlog grows linearly under pre-determined ordering...
+    assert predetermined[-1] > predetermined[49] > predetermined[0]
+    # ...but stays bounded by one straggler period under dynamic ordering.
+    assert max(dynamic) <= (16 - 1) * 10
+    # Confirmed throughput is ~1/k of ideal (paper Sec. 2.1).
+    assert abs(data["throughput_ratio"] - 0.1) < 1e-9
+    print()
+    print("Fig. 2a (paper): backlog and ordering delay grow over time with a straggler")
+    print(f"  pre-determined backlog after 100 rounds: {predetermined[-1]:.1f} blocks")
+    print(f"  dynamic (Ladon) backlog bound:           {max(dynamic):.1f} blocks")
+
+
+def test_fig2b_iss_with_stragglers(benchmark):
+    results = run_once(
+        benchmark, experiments.fig2b_iss_stragglers, straggler_counts=(0, 1, 3), n=16, duration=40.0
+    )
+    rows = [
+        {"stragglers": count, **{k: v for k, v in metrics.items() if k in ("throughput_tps", "average_latency_s", "confirmed_blocks")}}
+        for count, metrics in sorted(results.items())
+    ]
+    print()
+    print(format_table(rows, ["stragglers", "throughput_tps", "average_latency_s", "confirmed_blocks"],
+                       title="Fig. 2b — ISS-PBFT, WAN, 16 replicas (paper: -89.7% tput, 12x latency @1 straggler)"))
+    no_straggler = results[0]
+    one = results[1]
+    three = results[3]
+    # Throughput collapses with stragglers (paper: ~90% drop).
+    assert one["throughput_tps"] < 0.45 * no_straggler["throughput_tps"]
+    assert three["throughput_tps"] < 0.45 * no_straggler["throughput_tps"]
+    # Latency inflates by at least several times.
+    assert one["average_latency_s"] > 3 * no_straggler["average_latency_s"]

@@ -1,0 +1,80 @@
+"""Fig. 5 (a)-(h) — throughput and latency vs replica count, WAN and LAN.
+
+Paper headline (128 replicas, WAN, one straggler): Ladon-PBFT achieves about
+9x the throughput of ISS/RCC/Mir and ~62% lower latency, while without
+stragglers all pre-determined-ordering protocols and Ladon are within a few
+percent of each other.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+from conftest import run_once
+
+
+REPLICAS = (8, 32, 128)
+PROTOCOLS = ("ladon-pbft", "iss-pbft", "rcc", "mir", "dqbft")
+
+
+def _by(rows, **filters):
+    out = [r for r in rows if all(r[k] == v for k, v in filters.items())]
+    return {r["protocol"]: r for r in out}
+
+
+def test_fig5_wan_scaling(benchmark):
+    rows = run_once(
+        benchmark,
+        experiments.fig5_scaling,
+        replica_counts=REPLICAS,
+        protocols=PROTOCOLS,
+        environments=("wan",),
+        straggler_counts=(0, 1),
+        duration=300.0,
+    )
+    print()
+    print(format_table(
+        sorted(rows, key=lambda r: (r["stragglers"], r["n"], r["protocol"])),
+        ["protocol", "n", "stragglers", "throughput_tps", "average_latency_s"],
+        title="Fig. 5a-d — WAN (paper @128/1 straggler: Ladon ~9x ISS tput, ~62% lower latency)",
+    ))
+    clean = _by(rows, n=128, stragglers=0)
+    faulty = _by(rows, n=128, stragglers=1)
+    # (a) Without stragglers Ladon is within ~10% of ISS/RCC.
+    assert abs(clean["ladon-pbft"]["throughput_tps"] - clean["iss-pbft"]["throughput_tps"]) < 0.1 * clean["iss-pbft"]["throughput_tps"]
+    # (b) With one straggler Ladon wins by a large factor (paper ~9x; shape >= 4x).
+    assert faulty["ladon-pbft"]["throughput_tps"] > 4 * faulty["iss-pbft"]["throughput_tps"]
+    assert faulty["ladon-pbft"]["throughput_tps"] > 4 * faulty["mir"]["throughput_tps"]
+    assert faulty["ladon-pbft"]["throughput_tps"] > 4 * faulty["rcc"]["throughput_tps"]
+    # Pre-determined ordering loses most of its throughput (paper ~90%).
+    assert faulty["iss-pbft"]["throughput_tps"] < 0.3 * clean["iss-pbft"]["throughput_tps"]
+    # Ladon only loses a modest fraction (paper ~9%).
+    assert faulty["ladon-pbft"]["throughput_tps"] > 0.6 * clean["ladon-pbft"]["throughput_tps"]
+    # (d) Latency: Ladon well below ISS with one straggler (paper ~62% lower).
+    assert faulty["ladon-pbft"]["average_latency_s"] < 0.7 * faulty["iss-pbft"]["average_latency_s"]
+    # DQBFT declines as the replica count grows (ordering-leader bottleneck).
+    dqbft_small = _by(rows, n=8, stragglers=0)["dqbft"]["throughput_tps"]
+    dqbft_large = clean["dqbft"]["throughput_tps"]
+    assert dqbft_large < 0.8 * dqbft_small
+
+
+def test_fig5_lan_scaling(benchmark):
+    rows = run_once(
+        benchmark,
+        experiments.fig5_scaling,
+        replica_counts=REPLICAS,
+        protocols=("ladon-pbft", "iss-pbft"),
+        environments=("lan",),
+        straggler_counts=(0, 1),
+        duration=200.0,
+    )
+    print()
+    print(format_table(
+        sorted(rows, key=lambda r: (r["stragglers"], r["n"], r["protocol"])),
+        ["protocol", "n", "stragglers", "throughput_tps", "average_latency_s"],
+        title="Fig. 5e-h — LAN (same trends as WAN, higher throughput / lower latency)",
+    ))
+    faulty = _by(rows, n=128, stragglers=1)
+    clean = _by(rows, n=128, stragglers=0)
+    assert faulty["ladon-pbft"]["throughput_tps"] > 4 * faulty["iss-pbft"]["throughput_tps"]
+    # LAN latency is lower than WAN latency for the same protocol/size.
+    assert clean["iss-pbft"]["average_latency_s"] < 10.0

@@ -1,0 +1,35 @@
+"""Fig. 6 — varying the number of stragglers (16 replicas, WAN).
+
+Paper: from 1 to 5 stragglers the throughput of every protocol stays roughly
+flat (the slowest straggler dominates), with Ladon and DQBFT far above the
+pre-determined-ordering protocols throughout.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+from conftest import run_once
+
+
+def test_fig6_straggler_count(benchmark):
+    rows = run_once(
+        benchmark,
+        experiments.fig6_straggler_count,
+        straggler_counts=(1, 3, 5),
+        n=16,
+        duration=120.0,
+    )
+    print()
+    print(format_table(
+        sorted(rows, key=lambda r: (r["stragglers"], r["protocol"])),
+        ["protocol", "stragglers", "throughput_tps", "average_latency_s"],
+        title="Fig. 6 — 16 replicas, WAN, 1-5 stragglers (paper: Ladon/DQBFT stay high and flat)",
+    ))
+    by = {(r["protocol"], r["stragglers"]): r for r in rows}
+    for count in (1, 3, 5):
+        assert by[("ladon-pbft", count)]["throughput_tps"] > 3 * by[("iss-pbft", count)]["throughput_tps"]
+    # Robustness to additional stragglers: Ladon's throughput does not collapse
+    # between 1 and 5 stragglers (paper: ~10% drop).
+    assert by[("ladon-pbft", 5)]["throughput_tps"] > 0.6 * by[("ladon-pbft", 1)]["throughput_tps"]
+    # ISS stays uniformly bad: adding stragglers barely changes it (paper: ~1%).
+    assert by[("iss-pbft", 5)]["throughput_tps"] < 1.5 * by[("iss-pbft", 1)]["throughput_tps"] + 1

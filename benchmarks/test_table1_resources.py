@@ -1,0 +1,48 @@
+"""Table 1 — CPU and bandwidth usage of Ladon and ISS (32 replicas).
+
+Paper (32 replicas, WAN 16 blocks/s, LAN 32 blocks/s): neither protocol is
+CPU-bound (ceiling 800%); Ladon's usage is comparable to ISS without
+stragglers and somewhat higher with one straggler, because Ladon keeps
+confirming (and therefore keeps shipping) blocks that ISS simply queues.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+from conftest import run_once
+
+
+def test_table1_cpu_and_bandwidth(benchmark):
+    rows = run_once(benchmark, experiments.table1_resources, n=32, duration=15.0, batch_size=512)
+    print()
+    print(format_table(
+        sorted(rows, key=lambda r: (r["protocol"], r["environment"], r["stragglers"])),
+        ["protocol", "environment", "stragglers", "block_rate", "cpu_percent", "bandwidth_mbps", "throughput_tps"],
+        title="Table 1 — CPU and bandwidth, 32 replicas (paper: Ladon ~= ISS @0 stragglers, higher @1)",
+    ))
+    def pick(protocol, environment, stragglers):
+        return next(
+            r for r in rows
+            if r["protocol"] == protocol and r["environment"] == environment and r["stragglers"] == stragglers
+        )
+
+    for environment in ("wan", "lan"):
+        iss0 = pick("iss-pbft", environment, 0)
+        ladon0 = pick("ladon-pbft", environment, 0)
+        iss1 = pick("iss-pbft", environment, 1)
+        ladon1 = pick("ladon-pbft", environment, 1)
+        # Nobody is CPU-bound (ceiling in the paper's convention is 800%).
+        for row in (iss0, ladon0, iss1, ladon1):
+            assert row["cpu_percent"] < 800
+            assert row["bandwidth_mbps"] > 0
+        # Without stragglers Ladon's bandwidth and CPU are comparable to ISS
+        # (the rank reports/certificates are a small overhead).
+        assert ladon0["bandwidth_mbps"] <= 1.4 * iss0["bandwidth_mbps"]
+        assert ladon0["cpu_percent"] <= 2.0 * iss0["cpu_percent"]
+        # A straggler lowers everyone's traffic relative to fault-free runs
+        # (fewer full blocks are shipped).  Note: the paper reports Ladon's
+        # straggler-case bandwidth above ISS's; in this reproduction the
+        # short measurement window and Ladon's epoch boundary make the two
+        # comparable instead — see EXPERIMENTS.md, deviation 7.
+        assert iss1["bandwidth_mbps"] <= iss0["bandwidth_mbps"] * 1.05
+        assert ladon1["bandwidth_mbps"] <= ladon0["bandwidth_mbps"] * 1.05

@@ -1,0 +1,56 @@
+"""Table 2 — inter-block causal strength (CS) of the five protocols.
+
+Paper (16 replicas, WAN): Ladon's CS is 1.0 in every setting; Mir/ISS/RCC/
+DQBFT degrade sharply as stragglers are added or the straggler's proposal
+rate drops (ISS/RCC down to ~1e-5 .. 1e-16).
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+from conftest import run_once
+
+
+def test_table2_causal_strength(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.table2_causality,
+        n=16,
+        straggler_counts=(1, 3, 5),
+        proposal_rates=(0.5, 0.1),
+        duration=25.0,
+        batch_size=256,
+    )
+    by_count = data["by_straggler_count"]
+    by_rate = data["by_proposal_rate"]
+    print()
+    print(format_table(
+        sorted(by_count, key=lambda r: (r["stragglers"], r["protocol"])),
+        ["protocol", "stragglers", "causal_strength"],
+        title="Table 2 (left) — CS vs straggler count (paper: Ladon 1.0, others << 1)",
+    ))
+    print(format_table(
+        sorted(by_rate, key=lambda r: (r["proposal_rate"], r["protocol"])),
+        ["protocol", "proposal_rate", "causal_strength"],
+        title="Table 2 (right) — CS vs straggler proposal rate",
+    ))
+
+    def cs(rows, protocol, **filters):
+        return next(
+            r["causal_strength"] for r in rows
+            if r["protocol"] == protocol and all(r[k] == v for k, v in filters.items())
+        )
+
+    for count in (1, 3, 5):
+        ladon = cs(by_count, "ladon-pbft", stragglers=count)
+        # Paper: 1.0.  Short runs plus epoch-boundary rank clamping cost a few
+        # violations in this reproduction (EXPERIMENTS.md, deviation 5), but
+        # Ladon stays far above every pre-determined-ordering baseline.
+        assert ladon > 0.75
+        for baseline in ("iss-pbft", "rcc", "mir"):
+            assert cs(by_count, baseline, stragglers=count) < 0.7
+            assert cs(by_count, baseline, stragglers=count) < ladon
+    assert cs(by_rate, "ladon-pbft", proposal_rate=0.1) > 0.75
+    for baseline in ("iss-pbft", "rcc", "mir"):
+        for rate in (0.5, 0.1):
+            assert cs(by_rate, baseline, proposal_rate=rate) < cs(by_rate, "ladon-pbft", proposal_rate=rate)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Causality and front-running (paper Sec. 4.3 and Sec. 6.4).
+
+A front-runner watches partially committed blocks of other instances and then
+gets its own, later-created transaction ordered *before* them.  That is only
+possible when the global order disagrees with block generation order — which
+the causal-strength metric (CS) measures.  This example runs ISS and Ladon
+with a slow instance and counts how many confirmed blocks were generated
+after a block they precede had already committed (each one is a front-running
+opportunity).
+
+Run with:  python examples/causality_frontrunning.py
+"""
+
+from repro import FaultConfig, StragglerSpec, SystemConfig, build_system
+from repro.core.causality import count_causality_violations
+
+
+def run(protocol: str):
+    config = SystemConfig(
+        protocol=protocol,
+        n=8,
+        batch_size=128,
+        total_block_rate=16.0,
+        environment="wan",
+        duration=30.0,
+        seed=11,
+        faults=FaultConfig(stragglers=(StragglerSpec(replica=3, slowdown=10.0),)),
+    )
+    result = build_system(config).run()
+    violations = count_causality_violations(result.confirmed)
+    return result.metrics, violations, len(result.confirmed)
+
+
+def main() -> None:
+    print("One straggling leader (instance 3, 10x slower), 8 replicas, WAN\n")
+    for protocol in ("iss-pbft", "ladon-pbft"):
+        metrics, violations, confirmed = run(protocol)
+        print(f"{protocol}:")
+        print(f"  confirmed blocks            : {confirmed}")
+        print(f"  causality violations        : {violations}")
+        print(f"  causal strength CS = e^-N/n : {metrics.causal_strength:.4f}")
+        if violations:
+            print("  -> every violation is a window in which an adversary could have")
+            print("     front-run an already-committed transaction (Sec. 4.3).")
+        else:
+            print("  -> no block jumped ahead of an already-committed one; nothing to front-run.")
+        print()
+
+
+if __name__ == "__main__":
+    main()

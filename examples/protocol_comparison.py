@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare all five Multi-BFT protocols at a larger scale.
+
+Uses the block-level analytical engine (the same one behind the Fig. 5
+benchmarks) to sweep Ladon, ISS, RCC, Mir and DQBFT from 8 to 128 replicas
+with and without a straggler — in seconds rather than hours.
+
+Run with:  python examples/protocol_comparison.py
+"""
+
+from repro.bench.analytical import AnalyticalConfig, run_analytical
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for stragglers in (0, 1):
+        for n in (8, 32, 128):
+            for protocol in ("ladon-pbft", "iss-pbft", "rcc", "mir", "dqbft"):
+                metrics = run_analytical(
+                    AnalyticalConfig(
+                        protocol=protocol,
+                        n=n,
+                        stragglers=stragglers,
+                        environment="wan",
+                        duration=240.0,
+                        seed=1,
+                    )
+                )
+                rows.append(
+                    {
+                        "protocol": protocol,
+                        "n": n,
+                        "stragglers": stragglers,
+                        "throughput_tps": metrics.throughput_tps,
+                        "latency_s": metrics.average_latency_s,
+                        "CS": metrics.causal_strength,
+                    }
+                )
+    print(format_table(
+        rows,
+        ["protocol", "n", "stragglers", "throughput_tps", "latency_s", "CS"],
+        title="Multi-BFT protocol comparison (WAN, analytical engine)",
+    ))
+    print()
+    print("Things to look for (mirroring the paper's Fig. 5 and Table 2):")
+    print(" * without stragglers every protocol lands in the same throughput band;")
+    print(" * with one straggler the pre-determined-ordering protocols collapse")
+    print("   while Ladon (and, until the sequencer saturates, DQBFT) hold;")
+    print(" * Ladon keeps CS = 1 in every configuration.")
+
+
+if __name__ == "__main__":
+    main()

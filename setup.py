@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose ``pip``/``setuptools`` combination lacks the ``wheel``
+package required by the PEP 660 build path (``pip install -e . --no-use-pep517``
+falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

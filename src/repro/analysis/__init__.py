@@ -1,0 +1,36 @@
+"""Analytical models from the paper.
+
+* :mod:`repro.analysis.straggler_model` — the back-pressure analysis of
+  Sec. 2.1 behind Fig. 2a (queued partially committed blocks and global
+  ordering delay grow without bound under pre-determined ordering).
+* :mod:`repro.analysis.complexity` — the message and authenticator complexity
+  analysis of Appendix A comparing PBFT, Ladon-PBFT and Ladon-opt.
+"""
+
+from repro.analysis.straggler_model import (
+    StragglerModelConfig,
+    StragglerModelResult,
+    predetermined_ordering_backlog,
+    dynamic_ordering_backlog,
+    throughput_ratio,
+)
+from repro.analysis.complexity import (
+    ComplexityProfile,
+    pbft_complexity,
+    ladon_pbft_complexity,
+    ladon_opt_complexity,
+    compare_protocol_complexity,
+)
+
+__all__ = [
+    "StragglerModelConfig",
+    "StragglerModelResult",
+    "predetermined_ordering_backlog",
+    "dynamic_ordering_backlog",
+    "throughput_ratio",
+    "ComplexityProfile",
+    "pbft_complexity",
+    "ladon_pbft_complexity",
+    "ladon_opt_complexity",
+    "compare_protocol_complexity",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: one entry point per table and figure of the paper.
+
+The harness supports two engines:
+
+* ``des`` — the message-level discrete-event simulator (exact protocol state
+  machines; used for the 8–32 replica cells, the crash-fault timeline and the
+  causality table);
+* ``analytical`` — a block-level performance model that executes the same
+  global-ordering code over synthetic per-block commit times (used for the
+  64–128 replica sweeps of Fig. 5/6/7/10 where message-level simulation is
+  too slow to run routinely).
+"""
+
+from repro.bench.config import ExperimentCell, EngineKind
+from repro.bench.runner import run_cell, run_cells
+from repro.bench.analytical import AnalyticalConfig, run_analytical
+from repro.bench import experiments
+from repro.bench.report import format_table, format_series
+
+__all__ = [
+    "ExperimentCell",
+    "EngineKind",
+    "run_cell",
+    "run_cells",
+    "AnalyticalConfig",
+    "run_analytical",
+    "experiments",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,69 @@
+"""Experiment cell configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.protocols.base import SystemConfig
+from repro.sim.faults import FaultConfig
+
+
+#: engine selector: "des" (message-level) or "analytical" (block-level)
+EngineKind = str
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (protocol, n, straggler, environment) measurement cell."""
+
+    protocol: str
+    n: int
+    stragglers: int = 0
+    byzantine: bool = False
+    environment: str = "wan"
+    duration: float = 40.0
+    straggler_slowdown: float = 10.0
+    batch_size: int = 4096
+    total_block_rate: Optional[float] = None  # default: 16 (WAN) / 32 (LAN)
+    engine: EngineKind = "des"
+    seed: int = 0
+    epoch_length: int = 64
+    propose_timeout: Optional[float] = None
+
+    def block_rate(self) -> float:
+        if self.total_block_rate is not None:
+            return self.total_block_rate
+        return 32.0 if self.environment == "lan" else 16.0
+
+    def to_system_config(self) -> SystemConfig:
+        """Build the simulator configuration for the DES engine."""
+        faults = (
+            FaultConfig.with_stragglers(
+                self.stragglers,
+                self.n,
+                slowdown=self.straggler_slowdown,
+                byzantine=self.byzantine,
+                seed=self.seed + 1,
+            )
+            if self.stragglers
+            else FaultConfig()
+        )
+        return SystemConfig(
+            protocol=self.protocol,
+            n=self.n,
+            batch_size=self.batch_size,
+            total_block_rate=self.block_rate(),
+            epoch_length=self.epoch_length,
+            environment=self.environment,
+            duration=self.duration,
+            seed=self.seed,
+            faults=faults,
+            propose_timeout=self.propose_timeout,
+        )
+
+    def label(self) -> str:
+        tag = f"{self.protocol}-n{self.n}-s{self.stragglers}"
+        if self.byzantine:
+            tag += "-byz"
+        return f"{tag}-{self.environment}"

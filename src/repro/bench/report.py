@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str], title: str = "") -> str:
+    """Render rows as a fixed-width text table with the given columns."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    header = columns
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_format_value(row.get(col, "")) for col in columns])
+    widths = [
+        max(len(str(header[i])), *(len(r[i]) for r in rendered_rows)) for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(header[i]).ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(series: Iterable[Tuple[float, float]], title: str = "", max_points: int = 30) -> str:
+    """Render a (time, value) series as a compact text sparkline table."""
+    points = list(series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    step = max(1, len(points) // max_points)
+    peak = max(v for _, v in points) or 1.0
+    for time, value in points[::step]:
+        bar = "#" * int(round(30 * value / peak))
+        lines.append(f"{time:8.1f}s  {value:12.1f}  {bar}")
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)

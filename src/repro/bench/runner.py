@@ -1,0 +1,50 @@
+"""Run experiment cells on either engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.analytical import AnalyticalConfig, run_analytical
+from repro.bench.config import ExperimentCell
+from repro.metrics.collector import RunMetrics
+from repro.protocols.base import SystemResult
+from repro.protocols.registry import build_system
+
+
+def run_cell(cell: ExperimentCell) -> RunMetrics:
+    """Run one experiment cell and return its summary metrics."""
+    if cell.engine == "analytical":
+        config = AnalyticalConfig(
+            protocol=cell.protocol,
+            n=cell.n,
+            stragglers=cell.stragglers,
+            byzantine=cell.byzantine,
+            environment=cell.environment,
+            duration=cell.duration,
+            straggler_slowdown=cell.straggler_slowdown,
+            batch_size=cell.batch_size,
+            total_block_rate=cell.total_block_rate,
+            seed=cell.seed,
+        )
+        return run_analytical(config)
+    result = run_des_cell(cell)
+    return result.metrics
+
+
+def run_des_cell(cell: ExperimentCell) -> SystemResult:
+    """Run one cell on the message-level simulator, returning the full result."""
+    system = build_system(cell.to_system_config())
+    return system.run()
+
+
+def run_cells(cells: Iterable[ExperimentCell]) -> List[RunMetrics]:
+    """Run a batch of cells sequentially (deterministic order)."""
+    return [run_cell(cell) for cell in cells]
+
+
+def metrics_by_label(cells: Iterable[ExperimentCell]) -> Dict[str, RunMetrics]:
+    """Run cells and key the results by ``cell.label()``."""
+    out: Dict[str, RunMetrics] = {}
+    for cell in cells:
+        out[cell.label()] = run_cell(cell)
+    return out

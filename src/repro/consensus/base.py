@@ -1,0 +1,197 @@
+"""Consensus instance base class and host context.
+
+A :class:`ConsensusInstance` never touches the network directly; the hosting
+replica supplies an :class:`InstanceContext` whose callbacks route messages,
+deliver partially committed blocks, manage timers and account crypto
+operations.  This keeps the instance state machines unit-testable without a
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.block import Block
+from repro.crypto.aggregate import fault_threshold, quorum_threshold
+
+
+@dataclass
+class InstanceConfig:
+    """Static configuration of one consensus instance at one replica."""
+
+    instance_id: int
+    replica_id: int
+    n: int
+    batch_size: int = 4096
+    epoch_length: int = 64
+    view_change_timeout: float = 10.0
+    tx_payload_bytes: int = 500
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ValueError("a BFT system needs at least n = 4 replicas")
+        if self.instance_id < 0 or self.replica_id < 0:
+            raise ValueError("ids must be non-negative")
+
+    @property
+    def f(self) -> int:
+        return fault_threshold(self.n)
+
+    @property
+    def quorum(self) -> int:
+        return quorum_threshold(self.n)
+
+    def leader_for_view(self, view: int) -> int:
+        """Round-robin leader schedule within the instance.
+
+        View 0's leader is the replica whose id equals the instance id (the
+        paper deploys one instance per replica, each replica leading its own
+        instance), and subsequent views rotate.
+        """
+        return (self.instance_id + view) % self.n
+
+
+class InstanceContext:
+    """Host callbacks an instance uses to interact with the outside world."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def send(self, dest: int, message: Any, size_bytes: int) -> None:
+        raise NotImplementedError
+
+    def multicast(self, message: Any, size_bytes: int) -> None:
+        """Send to every replica, including this one (self-delivery is local)."""
+        raise NotImplementedError
+
+    def deliver(self, block: Block) -> None:
+        """Report a partially committed block to the global ordering layer."""
+        raise NotImplementedError
+
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def cancel_timer(self, name: str) -> None:
+        raise NotImplementedError
+
+    def record_crypto(self, operation: str, count: int = 1) -> None:
+        """Account a cryptographic operation (sign/verify/aggregate)."""
+
+    def current_rank(self) -> int:
+        """The replica's global curRank (shared across instances)."""
+        return 0
+
+    def observe_rank(self, rank: int, certificate: Any = None) -> None:
+        """Update the replica's global curRank if ``rank`` is higher."""
+
+    def max_rank(self) -> int:
+        """maxRank of the replica's current epoch."""
+        return 2**62
+
+    def min_rank(self) -> int:
+        """minRank of the replica's current epoch."""
+        return 0
+
+    def current_epoch(self) -> int:
+        return 0
+
+
+@dataclass
+class CollectingContext(InstanceContext):
+    """An in-memory context for unit tests: records everything it is told."""
+
+    time: float = 0.0
+    sent: List[Tuple[int, Any, int]] = field(default_factory=list)
+    multicasts: List[Tuple[Any, int]] = field(default_factory=list)
+    delivered: List[Block] = field(default_factory=list)
+    crypto_ops: Dict[str, int] = field(default_factory=dict)
+    timers: Dict[str, Tuple[float, Callable[[], None]]] = field(default_factory=dict)
+    rank: int = 0
+    epoch: int = 0
+    epoch_length: int = 64
+
+    def now(self) -> float:
+        return self.time
+
+    def send(self, dest: int, message: Any, size_bytes: int) -> None:
+        self.sent.append((dest, message, size_bytes))
+
+    def multicast(self, message: Any, size_bytes: int) -> None:
+        self.multicasts.append((message, size_bytes))
+
+    def deliver(self, block: Block) -> None:
+        self.delivered.append(block)
+
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        self.timers[name] = (self.time + delay, callback)
+
+    def cancel_timer(self, name: str) -> None:
+        self.timers.pop(name, None)
+
+    def record_crypto(self, operation: str, count: int = 1) -> None:
+        self.crypto_ops[operation] = self.crypto_ops.get(operation, 0) + count
+
+    def current_rank(self) -> int:
+        return self.rank
+
+    def observe_rank(self, rank: int, certificate: Any = None) -> None:
+        if rank > self.rank:
+            self.rank = rank
+
+    def max_rank(self) -> int:
+        return (self.epoch + 1) * self.epoch_length - 1
+
+    def min_rank(self) -> int:
+        return self.epoch * self.epoch_length
+
+    def current_epoch(self) -> int:
+        return self.epoch
+
+    def fire_timer(self, name: str) -> None:
+        """Test helper: fire a pending timer immediately."""
+        deadline, callback = self.timers.pop(name)
+        self.time = max(self.time, deadline)
+        callback()
+
+
+class ConsensusInstance:
+    """Common scaffolding for all instance implementations."""
+
+    def __init__(self, config: InstanceConfig, context: InstanceContext) -> None:
+        self.config = config
+        self.context = context
+        self.view = 0
+        self.stopped = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def instance_id(self) -> int:
+        return self.config.instance_id
+
+    @property
+    def replica_id(self) -> int:
+        return self.config.replica_id
+
+    @property
+    def leader(self) -> int:
+        return self.config.leader_for_view(self.view)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.replica_id == self.leader
+
+    # --------------------------------------------------------------- protocol
+    def on_message(self, sender: int, message: Any) -> None:
+        raise NotImplementedError
+
+    def propose(self, txs: Tuple, now: float) -> Optional[Any]:
+        """Leader-only: propose a batch.  Returns the proposal or None."""
+        raise NotImplementedError
+
+    def ready_to_propose(self) -> bool:
+        """Whether the leader may propose its next block right now."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        self.stopped = True

@@ -1,0 +1,68 @@
+"""Epoch checkpointing (paper Sec. 5.2.1 "Epoch advancement").
+
+At the end of an epoch every replica broadcasts a checkpoint message; 2f+1
+matching checkpoint messages form a *stable checkpoint*, after which the
+replica may start processing the next epoch.  A replica that lags fetches the
+missing log entries together with the stable checkpoint proving their
+integrity (state transfer is modelled as a single bulk message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.consensus.messages import CheckpointMessage
+from repro.crypto.hashing import digest_hex
+
+
+@dataclass
+class CheckpointState:
+    """Checkpoint votes for one epoch at one replica."""
+
+    epoch: int
+    votes: Set[int] = field(default_factory=set)
+    stable: bool = False
+    state_digest: str = ""
+
+
+class CheckpointManager:
+    """Tracks checkpoint votes and stable checkpoints per epoch."""
+
+    def __init__(self, replica_id: int, quorum: int) -> None:
+        self.replica_id = replica_id
+        self.quorum = quorum
+        self._states: Dict[int, CheckpointState] = {}
+
+    def _state(self, epoch: int) -> CheckpointState:
+        if epoch not in self._states:
+            self._states[epoch] = CheckpointState(epoch=epoch)
+        return self._states[epoch]
+
+    def build_checkpoint(self, epoch: int, confirmed_count: int, view: int = 0) -> CheckpointMessage:
+        """Build this replica's checkpoint message for ``epoch``."""
+        state_digest = digest_hex("checkpoint", epoch, confirmed_count)
+        self._state(epoch).state_digest = state_digest
+        return CheckpointMessage(
+            sender=self.replica_id,
+            instance=-1,
+            view=view,
+            round=0,
+            epoch=epoch,
+            state_digest=state_digest,
+        )
+
+    def on_checkpoint(self, message: CheckpointMessage) -> bool:
+        """Record a checkpoint vote; True exactly when the epoch became stable."""
+        state = self._state(message.epoch)
+        state.votes.add(message.sender)
+        if not state.stable and len(state.votes) >= self.quorum:
+            state.stable = True
+            return True
+        return False
+
+    def is_stable(self, epoch: int) -> bool:
+        return self._state(epoch).stable
+
+    def votes(self, epoch: int) -> int:
+        return len(self._state(epoch).votes)

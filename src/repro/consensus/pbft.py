@@ -1,0 +1,342 @@
+"""Vanilla PBFT consensus instance.
+
+Used as the instance protocol of the baseline Multi-BFT systems (ISS, Mir,
+RCC, DQBFT).  The implementation follows Castro & Liskov's normal case —
+pre-prepare, prepare, commit with 2f+1 quorums — plus the view-change
+mechanism summarised in the paper (Sec. 5.2.2 "View-change mechanism"): a
+replica that times out waiting for progress sends a view-change message to
+the next leader, which installs the new view after collecting 2f+1 of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.block import Block
+from repro.consensus.base import ConsensusInstance, InstanceConfig, InstanceContext
+from repro.consensus.messages import Commit, NewView, PrePrepare, Prepare, ViewChange
+from repro.consensus.quorum import QuorumTracker
+from repro.crypto.hashing import digest_hex
+from repro.workload.transactions import Batch
+
+
+@dataclass
+class RoundEntry:
+    """Per-round log entry at one replica."""
+
+    round: int
+    view: int
+    digest: str = ""
+    txs: Tuple = ()
+    tx_count: int = 0
+    batch_submitted_at: float = 0.0
+    rank: int = 0
+    epoch: int = 0
+    proposer: int = -1
+    proposed_at: float = 0.0
+    pre_prepared: bool = False
+    prepare_quorum: bool = False
+    commit_quorum: bool = False
+    sent_prepare: bool = False
+    sent_commit: bool = False
+    committed: bool = False
+
+
+class PBFTInstance(ConsensusInstance):
+    """One PBFT instance (vanilla: no monotonic ranks)."""
+
+    #: timer used to detect a stalled in-flight round
+    ROUND_TIMER = "pbft-round"
+
+    def __init__(
+        self,
+        config: InstanceConfig,
+        context: InstanceContext,
+        propose_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(config, context)
+        self.next_round = 1
+        self.last_committed_round = 0
+        self.log: Dict[int, RoundEntry] = {}
+        self.prepare_votes = QuorumTracker(config.quorum)
+        self.commit_votes = QuorumTracker(config.quorum)
+        self.view_change_votes = QuorumTracker(config.quorum)
+        self.propose_timeout = propose_timeout
+        self.view_change_in_progress = False
+        self.delivered_blocks: list = []
+        #: first round of the current view after a view change (0 = no view change yet)
+        self.view_resume_round = 0
+
+    # ----------------------------------------------------------------- hooks
+    def start(self) -> None:
+        """Arm the liveness timer that expects the first proposal (if enabled)."""
+        self._arm_propose_timer()
+
+    # -------------------------------------------------------------- proposing
+    def ready_to_propose(self) -> bool:
+        """The leader proposes one round at a time: round r needs r-1 committed."""
+        if not self.is_leader or self.stopped or self.view_change_in_progress:
+            return False
+        return self.next_round == 1 or self.last_committed_round >= self.next_round - 1
+
+    def propose(self, batch: Batch, now: float) -> Optional[PrePrepare]:
+        if not self.ready_to_propose():
+            return None
+        round = self.next_round
+        self.next_round += 1
+        message = self._build_pre_prepare(round, batch, now)
+        self.context.record_crypto("sign")
+        self.context.multicast(message, message.size_bytes)
+        return message
+
+    def _build_pre_prepare(self, round: int, batch: Batch, now: float) -> PrePrepare:
+        return PrePrepare(
+            sender=self.replica_id,
+            instance=self.instance_id,
+            view=self.view,
+            round=round,
+            digest=digest_hex(self.instance_id, self.view, round, batch.tx_count),
+            tx_count=batch.tx_count,
+            txs=batch.txs,
+            rank=round,  # vanilla PBFT: no meaningful rank, round stands in
+            epoch=self.context.current_epoch(),
+            proposed_at=now,
+            batch_submitted_at=batch.mean_submitted_at(),
+        )
+
+    # -------------------------------------------------------------- messages
+    def on_message(self, sender: int, message: Any) -> None:
+        if self.stopped:
+            return
+        if isinstance(message, PrePrepare):
+            self._on_pre_prepare(sender, message)
+        elif isinstance(message, Prepare):
+            self._on_prepare(sender, message)
+        elif isinstance(message, Commit):
+            self._on_commit(sender, message)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(sender, message)
+        elif isinstance(message, NewView):
+            self._on_new_view(sender, message)
+
+    # ------------------------------------------------------------ pre-prepare
+    def _validate_pre_prepare(self, sender: int, message: PrePrepare) -> bool:
+        if message.view != self.view:
+            return False
+        if sender != self.config.leader_for_view(message.view):
+            return False
+        entry = self.log.get(message.round)
+        if entry is not None and entry.pre_prepared and entry.digest != message.digest:
+            return False
+        return True
+
+    def _on_pre_prepare(self, sender: int, message: PrePrepare) -> None:
+        self.context.record_crypto("verify")
+        if not self._validate_pre_prepare(sender, message):
+            return
+        entry = self._entry(message.round)
+        if entry.pre_prepared:
+            return
+        entry.pre_prepared = True
+        entry.view = message.view
+        entry.digest = message.digest
+        entry.txs = message.txs
+        entry.tx_count = message.tx_count
+        entry.batch_submitted_at = message.batch_submitted_at
+        entry.rank = message.rank
+        entry.epoch = message.epoch
+        entry.proposer = sender
+        entry.proposed_at = message.proposed_at
+        self._arm_round_timer(message.round)
+
+        if not entry.sent_prepare:
+            entry.sent_prepare = True
+            prepare = Prepare(
+                sender=self.replica_id,
+                instance=self.instance_id,
+                view=self.view,
+                round=message.round,
+                digest=message.digest,
+                rank=message.rank,
+            )
+            self.context.record_crypto("sign")
+            self.context.multicast(prepare, prepare.size_bytes)
+
+        # Quorums may have formed before the pre-prepare reached this replica.
+        self._maybe_send_commit(entry)
+        self._maybe_commit(entry)
+
+    # ---------------------------------------------------------------- prepare
+    def _on_prepare(self, sender: int, message: Prepare) -> None:
+        self.context.record_crypto("verify")
+        if message.view != self.view:
+            return
+        key = (message.view, message.round, message.digest)
+        if not self.prepare_votes.add_vote(key, sender):
+            return
+        entry = self._entry(message.round)
+        entry.prepare_quorum = True
+        self._maybe_send_commit(entry)
+
+    def _maybe_send_commit(self, entry: RoundEntry) -> None:
+        if not entry.pre_prepared or not entry.prepare_quorum or entry.sent_commit:
+            return
+        entry.sent_commit = True
+        self._on_prepared(entry)
+        commit = Commit(
+            sender=self.replica_id,
+            instance=self.instance_id,
+            view=entry.view,
+            round=entry.round,
+            digest=entry.digest,
+            rank=entry.rank,
+        )
+        self.context.record_crypto("sign")
+        self.context.multicast(commit, commit.size_bytes)
+
+    def _on_prepared(self, entry: RoundEntry) -> None:
+        """Hook for subclasses (Ladon) that act when a round becomes prepared."""
+
+    # ----------------------------------------------------------------- commit
+    def _on_commit(self, sender: int, message: Commit) -> None:
+        self.context.record_crypto("verify")
+        if message.view != self.view:
+            return
+        key = (message.view, message.round, message.digest)
+        if not self.commit_votes.add_vote(key, sender):
+            return
+        entry = self._entry(message.round)
+        entry.commit_quorum = True
+        self._maybe_commit(entry)
+
+    def _maybe_commit(self, entry: RoundEntry) -> None:
+        if not entry.pre_prepared or not entry.commit_quorum or entry.committed:
+            return
+        entry.committed = True
+        self.last_committed_round = max(self.last_committed_round, entry.round)
+        self.context.cancel_timer(self._round_timer_name(entry.round))
+        now = self.context.now()
+        block = Block(
+            instance=self.instance_id,
+            round=entry.round,
+            rank=entry.rank,
+            txs=entry.txs,
+            epoch=entry.epoch,
+            proposer=entry.proposer,
+            proposed_at=entry.proposed_at,
+            committed_at=now,
+            tx_count_hint=entry.tx_count,
+            batch_submitted_at=entry.batch_submitted_at,
+        )
+        self.delivered_blocks.append(block)
+        self.context.deliver(block)
+        self._on_committed(entry, block)
+        self._arm_propose_timer()
+
+    def _on_committed(self, entry: RoundEntry, block: Block) -> None:
+        """Hook for subclasses (Ladon) that act when a round commits."""
+
+    # ------------------------------------------------------------ view change
+    def _round_timer_name(self, round: int) -> str:
+        return f"{self.ROUND_TIMER}:{self.instance_id}:{round}"
+
+    def _arm_round_timer(self, round: int) -> None:
+        """Expect the round to commit within the view-change timeout."""
+        timeout = self.config.view_change_timeout
+        self.context.set_timer(
+            self._round_timer_name(round), timeout, lambda: self._on_timeout(round)
+        )
+
+    def _arm_propose_timer(self) -> None:
+        """Optionally expect the next proposal within ``propose_timeout``.
+
+        Disabled by default (honest stragglers must not trigger view changes,
+        Sec. 6.1); the crash-fault experiment (Fig. 8) enables it.
+        """
+        if self.propose_timeout is None:
+            return
+        self.context.set_timer(
+            f"pbft-propose:{self.instance_id}",
+            self.propose_timeout,
+            self._on_propose_timeout,
+        )
+
+    def _on_propose_timeout(self) -> None:
+        if self.stopped or self.is_leader:
+            return
+        self._start_view_change()
+
+    def _on_timeout(self, round: int) -> None:
+        entry = self.log.get(round)
+        if entry is not None and entry.committed:
+            return
+        self._start_view_change()
+
+    def _start_view_change(self) -> None:
+        if self.view_change_in_progress:
+            return
+        self.view_change_in_progress = True
+        new_view = self.view + 1
+        message = ViewChange(
+            sender=self.replica_id,
+            instance=self.instance_id,
+            view=new_view,
+            round=self.last_committed_round,
+            last_committed_round=self.last_committed_round,
+            highest_rank=self.context.current_rank(),
+        )
+        self.context.record_crypto("sign")
+        new_leader = self.config.leader_for_view(new_view)
+        if new_leader == self.replica_id:
+            self._on_view_change(self.replica_id, message)
+        else:
+            self.context.send(new_leader, message, message.size_bytes)
+
+    def _on_view_change(self, sender: int, message: ViewChange) -> None:
+        self.context.record_crypto("verify")
+        if message.view <= self.view:
+            return
+        if self.config.leader_for_view(message.view) != self.replica_id:
+            return
+        key = ("view-change", message.view)
+        if not self.view_change_votes.add_vote(key, sender):
+            return
+        resume_round = max(message.last_committed_round, self.last_committed_round) + 1
+        new_view_msg = NewView(
+            sender=self.replica_id,
+            instance=self.instance_id,
+            view=message.view,
+            round=resume_round,
+            view_change_count=self.view_change_votes.count(key),
+            resume_round=resume_round,
+        )
+        self.context.record_crypto("sign")
+        self.context.multicast(new_view_msg, new_view_msg.size_bytes)
+
+    def _on_new_view(self, sender: int, message: NewView) -> None:
+        self.context.record_crypto("verify")
+        if message.view <= self.view:
+            return
+        if sender != self.config.leader_for_view(message.view):
+            return
+        self.view = message.view
+        self.view_change_in_progress = False
+        self.next_round = max(self.next_round, message.resume_round)
+        self.view_resume_round = message.resume_round
+        # Drop uncommitted in-flight rounds; the new leader re-proposes them.
+        for round, entry in list(self.log.items()):
+            if not entry.committed and round >= message.resume_round:
+                del self.log[round]
+                self.context.cancel_timer(self._round_timer_name(round))
+        self._arm_propose_timer()
+        self.on_view_installed(message.view)
+
+    def on_view_installed(self, view: int) -> None:
+        """Hook for the hosting replica (e.g. to log view-change completion)."""
+
+    # -------------------------------------------------------------- internals
+    def _entry(self, round: int) -> RoundEntry:
+        if round not in self.log:
+            self.log[round] = RoundEntry(round=round, view=self.view)
+        return self.log[round]

@@ -1,0 +1,49 @@
+"""Quorum vote tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set, Tuple
+
+
+@dataclass
+class QuorumTracker:
+    """Counts distinct voters per key and fires exactly once per quorum.
+
+    Keys are arbitrary hashable tuples, typically ``(view, round, digest)``.
+    The tracker remembers which keys already reached quorum so a late vote
+    cannot re-trigger the quorum action.
+    """
+
+    threshold: int
+    _votes: Dict[Hashable, Set[int]] = field(default_factory=dict)
+    _reached: Set[Hashable] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("quorum threshold must be positive")
+
+    def add_vote(self, key: Hashable, voter: int) -> bool:
+        """Record a vote.  Returns True exactly when the key first reaches quorum."""
+        if key in self._reached:
+            self._votes.setdefault(key, set()).add(voter)
+            return False
+        voters = self._votes.setdefault(key, set())
+        voters.add(voter)
+        if len(voters) >= self.threshold:
+            self._reached.add(key)
+            return True
+        return False
+
+    def voters(self, key: Hashable) -> Tuple[int, ...]:
+        return tuple(sorted(self._votes.get(key, set())))
+
+    def count(self, key: Hashable) -> int:
+        return len(self._votes.get(key, set()))
+
+    def has_quorum(self, key: Hashable) -> bool:
+        return key in self._reached
+
+    def clear(self, key: Hashable) -> None:
+        self._votes.pop(key, None)
+        self._reached.discard(key)

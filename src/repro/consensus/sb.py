@@ -1,0 +1,86 @@
+"""Sequenced Broadcast (SB) abstraction (paper Sec. 3.2).
+
+SB is the abstraction ISS (and Ladon) use for each consensus instance: for a
+round set ``R`` and message set ``M`` only the designated sender may broadcast
+``(msg, r)``; honest replicas deliver exactly one message per round, possibly
+the special nil value ``⊥`` when the sender is suspected quiet.
+
+The PBFT / HotStuff instances in this package *implement* SB (their delivered
+blocks are the ``(msg, r)`` pairs); :class:`InMemorySequencedBroadcast` is a
+reference implementation used to state and test the SB properties directly
+and to back lightweight protocol tests that do not need full BFT machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+NIL = object()  # the special ⊥ value
+
+
+class SequencedBroadcast:
+    """Interface of an SB instance ``SB(p, R, M, D)``."""
+
+    def broadcast(self, message: Any, round: int) -> None:
+        """Called by the designated sender to broadcast ``(message, round)``."""
+        raise NotImplementedError
+
+    def delivered(self) -> Dict[int, Any]:
+        """Messages delivered so far, keyed by round."""
+        raise NotImplementedError
+
+
+@dataclass
+class InMemorySequencedBroadcast(SequencedBroadcast):
+    """A single-process reference SB implementation.
+
+    It enforces the SB properties locally:
+
+    * **SB-Integrity** — only the designated ``sender`` may broadcast, and
+      only messages in ``allowed_messages`` (when given);
+    * **SB-Agreement** — at most one message is delivered per round;
+    * **SB-Termination** — :meth:`suspect` delivers ``⊥`` for every
+      outstanding round in ``rounds``, modelling the failure detector D.
+    """
+
+    sender: int
+    rounds: Tuple[int, ...]
+    allowed_messages: Optional[Sequence[Any]] = None
+    on_deliver: Optional[Callable[[Any, int], None]] = None
+    _delivered: Dict[int, Any] = field(default_factory=dict)
+
+    def broadcast(self, message: Any, round: int, by: Optional[int] = None) -> None:
+        actual_sender = self.sender if by is None else by
+        if actual_sender != self.sender:
+            raise PermissionError(f"replica {actual_sender} is not the designated sender")
+        if round not in self.rounds:
+            raise ValueError(f"round {round} is not in the allowed round set")
+        if self.allowed_messages is not None and message not in self.allowed_messages:
+            raise ValueError("message not in the allowed message set")
+        self._deliver(message, round)
+
+    def suspect(self) -> None:
+        """Failure-detector path: deliver ⊥ for every round not yet delivered."""
+        for round in self.rounds:
+            if round not in self._delivered:
+                self._deliver(NIL, round)
+
+    def _deliver(self, message: Any, round: int) -> None:
+        if round in self._delivered:
+            existing = self._delivered[round]
+            if existing is not message and existing != message:
+                raise AssertionError(
+                    f"SB-Agreement violated: round {round} already delivered {existing!r}"
+                )
+            return
+        self._delivered[round] = message
+        if self.on_deliver is not None:
+            self.on_deliver(message, round)
+
+    def delivered(self) -> Dict[int, Any]:
+        return dict(self._delivered)
+
+    def is_complete(self) -> bool:
+        """SB-Termination check: every round has a delivery."""
+        return all(round in self._delivered for round in self.rounds)

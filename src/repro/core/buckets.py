@@ -1,0 +1,102 @@
+"""Rotating transaction buckets (paper Sec. 5.1, adopted from ISS).
+
+Client transactions are hashed into one of ``num_buckets`` disjoint buckets.
+At every epoch the buckets are reassigned round-robin to consensus instances,
+which prevents two leaders from proposing the same transaction and mitigates
+censorship: a transaction stuck with an unco-operative leader is eventually
+rotated to an honest one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import digest
+
+
+@dataclass
+class Bucket:
+    """A FIFO queue of pending transactions."""
+
+    bucket_id: int
+    pending: Deque = field(default_factory=deque)
+
+    def add(self, tx) -> None:
+        self.pending.append(tx)
+
+    def cut(self, max_txs: int) -> Tuple:
+        """Remove and return up to ``max_txs`` transactions (a batch cut)."""
+        batch = []
+        while self.pending and len(batch) < max_txs:
+            batch.append(self.pending.popleft())
+        return tuple(batch)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class RotatingBuckets:
+    """Assignment of buckets to consensus instances, rotated per epoch."""
+
+    def __init__(self, num_buckets: int, num_instances: int) -> None:
+        if num_buckets < num_instances:
+            raise ValueError("need at least one bucket per instance")
+        if num_instances <= 0:
+            raise ValueError("need at least one instance")
+        self.num_buckets = num_buckets
+        self.num_instances = num_instances
+        self._buckets: Dict[int, Bucket] = {i: Bucket(bucket_id=i) for i in range(num_buckets)}
+
+    # ------------------------------------------------------------ assignment
+    def bucket_of(self, tx_id) -> int:
+        """Hash a transaction id into its bucket."""
+        return int.from_bytes(digest(tx_id)[:8], "big") % self.num_buckets
+
+    def add_transaction(self, tx, tx_id=None) -> int:
+        """Add ``tx`` to its bucket; returns the bucket id."""
+        key = tx_id if tx_id is not None else getattr(tx, "tx_id", tx)
+        bucket_id = self.bucket_of(key)
+        self._buckets[bucket_id].add(tx)
+        return bucket_id
+
+    def assignment_for_epoch(self, epoch: int) -> Dict[int, List[int]]:
+        """Bucket ids assigned to each instance in ``epoch`` (round-robin rotation)."""
+        assignment: Dict[int, List[int]] = {i: [] for i in range(self.num_instances)}
+        for bucket_id in range(self.num_buckets):
+            instance = (bucket_id + epoch) % self.num_instances
+            assignment[instance].append(bucket_id)
+        return assignment
+
+    def buckets_for_instance(self, instance: int, epoch: int) -> List[Bucket]:
+        assignment = self.assignment_for_epoch(epoch)
+        return [self._buckets[bid] for bid in assignment[instance]]
+
+    # ---------------------------------------------------------------- cutting
+    def cut_batch(self, instance: int, epoch: int, max_txs: int) -> Tuple:
+        """Cut a batch of up to ``max_txs`` transactions for ``instance``.
+
+        Transactions are drawn round-robin from the instance's buckets so a
+        single hot bucket cannot starve the others.
+        """
+        buckets = self.buckets_for_instance(instance, epoch)
+        batch: List = []
+        while len(batch) < max_txs:
+            progressed = False
+            for bucket in buckets:
+                if bucket.pending and len(batch) < max_txs:
+                    batch.append(bucket.pending.popleft())
+                    progressed = True
+            if not progressed:
+                break
+        return tuple(batch)
+
+    # ------------------------------------------------------------- inspection
+    def pending_count(self, instance: Optional[int] = None, epoch: int = 0) -> int:
+        if instance is None:
+            return sum(len(bucket) for bucket in self._buckets.values())
+        return sum(len(bucket) for bucket in self.buckets_for_instance(instance, epoch))
+
+    def bucket(self, bucket_id: int) -> Bucket:
+        return self._buckets[bucket_id]

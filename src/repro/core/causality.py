@@ -1,0 +1,44 @@
+"""Inter-block Causal Strength (paper Sec. 6.4).
+
+Given the globally confirmed sequence ``B_1 .. B_n``, a *causality violation*
+occurs for a pair ``i < j`` when ``B_i`` was generated (proposed) after
+``B_j`` was committed by f+1 replicas — i.e. a later-created block jumped
+ahead of an already-committed one in the global order, the situation a
+front-runner exploits.  The causal strength is ``CS = exp(-N / n)`` where
+``N`` is the number of violations; CS = 1 means no violation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.ordering import ConfirmedBlock
+
+
+def count_causality_violations(confirmed: Sequence[ConfirmedBlock]) -> int:
+    """Count ordered pairs (i < j) where block i was proposed after j committed.
+
+    ``proposed_at`` is the leader's proposal time and ``committed_at`` the
+    partial-commit time (by f+1 replicas — in the simulator all honest
+    replicas commit within the same event cascade, so the block's commit time
+    is the relevant instant).
+    """
+    violations = 0
+    blocks = [c.block for c in sorted(confirmed, key=lambda c: c.sn)]
+    for j, later in enumerate(blocks):
+        if later.committed_at is None:
+            continue
+        for earlier in blocks[:j]:
+            if earlier.proposed_at > later.committed_at:
+                violations += 1
+    return violations
+
+
+def causal_strength(confirmed: Sequence[ConfirmedBlock]) -> float:
+    """Return ``CS = exp(-N / n)`` over the confirmed sequence (1.0 if empty)."""
+    n = len(confirmed)
+    if n == 0:
+        return 1.0
+    violations = count_causality_violations(confirmed)
+    return math.exp(-violations / n)

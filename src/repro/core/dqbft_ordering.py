@@ -1,0 +1,84 @@
+"""DQBFT-style global ordering.
+
+DQBFT (Arun & Ravindran, PVLDB 2022) adds one *special ordering instance*: the
+other instances only partially commit blocks, and the ordering instance runs
+consensus on "sequencing" decisions that append partially committed blocks to
+the global log in the order its leader observes them.  This removes the rigid
+round-robin interleaving (so it tolerates stragglers much better than ISS)
+but (a) adds the ordering instance's own consensus latency to every block and
+(b) centralises ordering at that leader — if *it* straggles, the whole system
+stalls, and it can reorder blocks arbitrarily (no causality guarantee).
+
+In this reproduction the ordering instance is modelled by the protocol layer
+(:mod:`repro.protocols.dqbft`) which feeds *sequencing decisions* into this
+orderer; the orderer simply appends blocks in decision order once both the
+decision and the block itself are available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.core.block import Block, BlockId
+from repro.core.ordering import ConfirmedBlock, GlobalOrderer
+
+
+class DQBFTOrderer(GlobalOrderer):
+    """Appends blocks in the order decided by the central ordering instance."""
+
+    def __init__(self, num_instances: int) -> None:
+        if num_instances <= 0:
+            raise ValueError("need at least one instance")
+        self.num_instances = num_instances
+        self._confirmed: List[ConfirmedBlock] = []
+        self._blocks: Dict[BlockId, Block] = {}
+        self._decisions: Deque[BlockId] = deque()
+        self._decided: set = set()
+        self._confirmed_ids: set = set()
+
+    @property
+    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
+        return tuple(self._confirmed)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._blocks) - len(self._confirmed_ids)
+
+    # ----------------------------------------------------- ordering decisions
+    def add_sequencing_decision(self, block_id: BlockId, now: float) -> List[ConfirmedBlock]:
+        """Record that the ordering instance decided ``block_id`` comes next."""
+        if block_id in self._decided:
+            return []
+        self._decided.add(block_id)
+        self._decisions.append(block_id)
+        return self._drain(now)
+
+    def add_partially_committed(self, block: Block, now: float) -> List[ConfirmedBlock]:
+        block_id = block.block_id
+        if block_id in self._blocks:
+            return []
+        self._blocks[block_id] = block
+        return self._drain(now)
+
+    def _drain(self, now: float) -> List[ConfirmedBlock]:
+        newly: List[ConfirmedBlock] = []
+        while self._decisions:
+            head = self._decisions[0]
+            block = self._blocks.get(head)
+            if block is None:
+                break  # decision arrived before the block itself
+            self._decisions.popleft()
+            if head in self._confirmed_ids:
+                continue
+            sn = len(self._confirmed)
+            confirmed = ConfirmedBlock(block=block, sn=sn, confirmed_at=now)
+            self._confirmed.append(confirmed)
+            self._confirmed_ids.add(head)
+            newly.append(confirmed)
+        return newly
+
+    # ------------------------------------------------------------- inspection
+    def undecided_blocks(self) -> List[Block]:
+        """Blocks partially committed but not yet sequenced by the orderer."""
+        return [b for bid, b in self._blocks.items() if bid not in self._decided]

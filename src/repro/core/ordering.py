@@ -1,0 +1,167 @@
+"""Global ordering layer.
+
+Two implementations of the :class:`GlobalOrderer` interface live elsewhere
+(:mod:`repro.core.predetermined` and :mod:`repro.core.dqbft_ordering`); this
+module defines the interface, the confirmed-block record, and Ladon's
+:class:`DynamicOrderer`, a faithful implementation of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.block import Block, ordering_key
+
+
+@dataclass(frozen=True)
+class ConfirmedBlock:
+    """A globally confirmed block with its global ordering index ``sn``."""
+
+    block: Block
+    sn: int
+    confirmed_at: float
+
+    @property
+    def rank(self) -> int:
+        return self.block.rank
+
+    @property
+    def instance(self) -> int:
+        return self.block.instance
+
+
+@dataclass(frozen=True)
+class ConfirmationBar:
+    """The confirmation bar: the lowest ordering key future blocks can take."""
+
+    rank: int
+    instance: int
+
+    def admits(self, block: Block) -> bool:
+        """True when ``block ≺ bar`` and so the block can be confirmed."""
+        return ordering_key(block) < (self.rank, self.instance)
+
+
+class GlobalOrderer:
+    """Interface of the global ordering layer (paper Sec. 3.3).
+
+    ``add_partially_committed`` feeds the output of the partial ordering
+    layer; the orderer returns the (possibly empty) list of newly confirmed
+    blocks, already assigned consecutive global ordering indices.
+    """
+
+    def add_partially_committed(self, block: Block, now: float) -> List[ConfirmedBlock]:
+        raise NotImplementedError
+
+    @property
+    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
+        raise NotImplementedError
+
+    @property
+    def pending_count(self) -> int:
+        """Number of partially committed but not yet confirmed blocks."""
+        raise NotImplementedError
+
+
+class DynamicOrderer(GlobalOrderer):
+    """Ladon's dynamic global ordering (Algorithm 1).
+
+    The orderer keeps, per instance, the last *partially confirmed* block —
+    a block is partially confirmed only when every earlier round of its
+    instance is partially committed — plus the set ``S`` of unconfirmed
+    blocks.  When fed a new block it recomputes the bar from the lowest
+    last-partially-confirmed block across instances, then drains every
+    unconfirmed block below the bar in ``≺`` order.
+    """
+
+    def __init__(self, num_instances: int) -> None:
+        if num_instances <= 0:
+            raise ValueError("need at least one instance")
+        self.num_instances = num_instances
+        self._confirmed: List[ConfirmedBlock] = []
+        self._confirmed_ids = set()
+        # Per instance: blocks received keyed by round, and the next round
+        # needed to extend the contiguous partially-confirmed prefix.
+        self._by_instance: Dict[int, Dict[int, Block]] = {i: {} for i in range(num_instances)}
+        self._next_round: Dict[int, int] = {i: 1 for i in range(num_instances)}
+        self._last_partially_confirmed: Dict[int, Optional[Block]] = {
+            i: None for i in range(num_instances)
+        }
+        self._unconfirmed: Dict[Tuple[int, int], Block] = {}
+
+    # ------------------------------------------------------------ interface
+    @property
+    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
+        return tuple(self._confirmed)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._unconfirmed)
+
+    def add_partially_committed(self, block: Block, now: float) -> List[ConfirmedBlock]:
+        if block.instance >= self.num_instances:
+            raise ValueError(
+                f"block instance {block.instance} out of range (m={self.num_instances})"
+            )
+        key = (block.instance, block.round)
+        if key in self._unconfirmed or key in self._confirmed_ids:
+            return []  # duplicate delivery
+
+        self._by_instance[block.instance][block.round] = block
+        self._unconfirmed[key] = block
+        self._advance_partially_confirmed(block.instance)
+        return self._drain(now)
+
+    # -------------------------------------------------------------- internals
+    def _advance_partially_confirmed(self, instance: int) -> None:
+        """Extend the contiguous prefix of partially confirmed blocks."""
+        rounds = self._by_instance[instance]
+        nxt = self._next_round[instance]
+        while nxt in rounds:
+            self._last_partially_confirmed[instance] = rounds[nxt]
+            nxt += 1
+        self._next_round[instance] = nxt
+
+    def _compute_bar(self) -> Optional[ConfirmationBar]:
+        """Compute the bar from the last partially confirmed block per instance.
+
+        Following Algorithm 1, the bar is derived from S', the set of last
+        partially confirmed blocks of each instance.  An instance that has not
+        yet partially confirmed any block contributes nothing yet — but then
+        the bar must stay at its initial value (0, 0) because that instance
+        could still produce a block of any low rank it has certified; we model
+        this by returning ``None`` (no block can be confirmed yet) unless
+        every instance has at least one partially confirmed block.
+        """
+        last_blocks = [b for b in self._last_partially_confirmed.values() if b is not None]
+        if len(last_blocks) < self.num_instances:
+            return None
+        lowest = min(last_blocks, key=ordering_key)
+        return ConfirmationBar(rank=lowest.rank + 1, instance=lowest.instance)
+
+    def _drain(self, now: float) -> List[ConfirmedBlock]:
+        bar = self._compute_bar()
+        if bar is None:
+            return []
+        newly: List[ConfirmedBlock] = []
+        while self._unconfirmed:
+            candidate_key = min(self._unconfirmed, key=lambda k: ordering_key(self._unconfirmed[k]))
+            candidate = self._unconfirmed[candidate_key]
+            if not bar.admits(candidate):
+                break
+            del self._unconfirmed[candidate_key]
+            sn = len(self._confirmed)
+            confirmed = ConfirmedBlock(block=candidate, sn=sn, confirmed_at=now)
+            self._confirmed.append(confirmed)
+            self._confirmed_ids.add(candidate_key)
+            newly.append(confirmed)
+        return newly
+
+    # ------------------------------------------------------------- inspection
+    def current_bar(self) -> Optional[ConfirmationBar]:
+        """Expose the bar for tests and diagnostics."""
+        return self._compute_bar()
+
+    def unconfirmed_blocks(self) -> List[Block]:
+        return sorted(self._unconfirmed.values(), key=ordering_key)

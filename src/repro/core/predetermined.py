@@ -1,0 +1,68 @@
+"""Pre-determined global ordering (ISS, Mir, RCC).
+
+A block produced by instance ``i`` in round ``j`` is assigned the fixed global
+index ``(j - 1) * m + i`` (the paper's Fig. 1 layout: round-robin interleaving
+across the ``m`` instances).  Replicas execute blocks strictly in increasing
+global index; a missing block (a "hole" left by a slow instance) blocks every
+later block from being globally confirmed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.block import Block
+from repro.core.ordering import ConfirmedBlock, GlobalOrderer
+
+
+class PredeterminedOrderer(GlobalOrderer):
+    """Global ordering by pre-assigned index, as in ISS / Mir / RCC."""
+
+    def __init__(self, num_instances: int) -> None:
+        if num_instances <= 0:
+            raise ValueError("need at least one instance")
+        self.num_instances = num_instances
+        self._confirmed: List[ConfirmedBlock] = []
+        self._pending: Dict[int, Block] = {}
+        self._next_sn = 0
+
+    def global_index(self, block: Block) -> int:
+        """The pre-determined index of ``block`` (rounds are 1-based)."""
+        if block.round < 1:
+            raise ValueError("rounds are 1-based in the partial ordering layer")
+        return (block.round - 1) * self.num_instances + block.instance
+
+    @property
+    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
+        return tuple(self._confirmed)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def add_partially_committed(self, block: Block, now: float) -> List[ConfirmedBlock]:
+        index = self.global_index(block)
+        if index < self._next_sn or index in self._pending:
+            return []  # duplicate delivery
+        self._pending[index] = block
+        newly: List[ConfirmedBlock] = []
+        while self._next_sn in self._pending:
+            blk = self._pending.pop(self._next_sn)
+            confirmed = ConfirmedBlock(block=blk, sn=self._next_sn, confirmed_at=now)
+            self._confirmed.append(confirmed)
+            newly.append(confirmed)
+            self._next_sn += 1
+        return newly
+
+    # ------------------------------------------------------------- inspection
+    def next_missing_index(self) -> int:
+        """The global index of the hole currently blocking confirmation."""
+        return self._next_sn
+
+    def hole_count(self) -> int:
+        """Number of holes below the highest pending index (diagnostic)."""
+        if not self._pending:
+            return 0
+        highest = max(self._pending)
+        expected = highest - self._next_sn + 1
+        return expected - len(self._pending) + (0 if self._next_sn in self._pending else 0)

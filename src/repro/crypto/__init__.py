@@ -1,0 +1,41 @@
+"""Simulated cryptography substrate for the Ladon reproduction.
+
+The Ladon paper uses Ed25519-style signatures for messages and BLS aggregate
+signatures for rank certificates.  This package provides drop-in simulated
+equivalents built on HMAC-SHA256: they offer the same *interfaces* and the
+same security-relevant checks (only the owner of a private key can produce a
+signature that verifies under the matching public key; aggregate signatures
+bind a set of (signer, message) pairs), without bilinear pairings.  The cost
+of each operation is modelled separately by :mod:`repro.metrics.resources`.
+"""
+
+from repro.crypto.hashing import digest, digest_hex
+from repro.crypto.keys import KeyPair, KeyStore, PublicKey, PrivateKey
+from repro.crypto.signatures import Signature, sign, verify, SignedMessage
+from repro.crypto.aggregate import (
+    AggregateSignature,
+    aggregate,
+    verify_aggregate,
+    QuorumCertificate,
+)
+from repro.crypto.multikey import MultiKeyPair, MultiKeyStore, RankEncodedSignature
+
+__all__ = [
+    "digest",
+    "digest_hex",
+    "KeyPair",
+    "KeyStore",
+    "PublicKey",
+    "PrivateKey",
+    "Signature",
+    "sign",
+    "verify",
+    "SignedMessage",
+    "AggregateSignature",
+    "aggregate",
+    "verify_aggregate",
+    "QuorumCertificate",
+    "MultiKeyPair",
+    "MultiKeyStore",
+    "RankEncodedSignature",
+]

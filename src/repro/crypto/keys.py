@@ -1,0 +1,114 @@
+"""Simulated public-key infrastructure.
+
+Each replica owns a :class:`KeyPair`.  Private keys are random 32-byte
+secrets; the "public key" is a digest of the secret plus the owner id.  A
+signature over a message is ``HMAC(secret, message)``.  Verification requires
+the verifier to know the *public* key only: the :class:`KeyStore` (our PKI)
+maps public keys back to the secret internally, modelling the fact that in a
+real deployment verification succeeds exactly when the signature was produced
+with the matching private key.  Code outside this package never touches the
+secret of another replica.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.hashing import digest_hex
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Public half of a key pair; safe to share with every replica."""
+
+    owner: int
+    fingerprint: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"pk({self.owner}:{self.fingerprint[:8]})"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """Private half of a key pair; held only by its owner."""
+
+    owner: int
+    secret: bytes
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(owner=self.owner, fingerprint=digest_hex(self.owner, self.secret))
+
+    def hmac(self, payload: bytes) -> bytes:
+        return hmac.new(self.secret, payload, hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A replica's signing key pair."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @property
+    def owner(self) -> int:
+        return self.public.owner
+
+
+def generate_keypair(owner: int, seed: Optional[bytes] = None) -> KeyPair:
+    """Deterministically derive a key pair for ``owner``.
+
+    ``seed`` lets a test fix the key material; by default the secret is
+    derived from the owner id so that repeated runs are reproducible.
+    """
+    material = seed if seed is not None else f"ladon-repro-key-{owner}".encode()
+    secret = hashlib.sha256(material).digest()
+    private = PrivateKey(owner=owner, secret=secret)
+    return KeyPair(private=private, public=private.public_key())
+
+
+@dataclass
+class KeyStore:
+    """The system PKI: knows every replica's public key.
+
+    The key store also retains the secrets so that :func:`repro.crypto.
+    signatures.verify` can recompute the HMAC.  This mirrors the trust model
+    of a signature scheme (verification needs only public information); the
+    secrets are an implementation detail of the simulation and are never
+    consulted by protocol code.
+    """
+
+    _pairs: Dict[int, KeyPair] = field(default_factory=dict)
+
+    @classmethod
+    def for_replicas(cls, n: int) -> "KeyStore":
+        """Create a PKI with key pairs for replicas ``0..n-1``."""
+        store = cls()
+        for owner in range(n):
+            store.register(generate_keypair(owner))
+        return store
+
+    def register(self, pair: KeyPair) -> None:
+        if pair.owner in self._pairs:
+            raise ValueError(f"replica {pair.owner} already registered")
+        self._pairs[pair.owner] = pair
+
+    def keypair(self, owner: int) -> KeyPair:
+        return self._pairs[owner]
+
+    def private_key(self, owner: int) -> PrivateKey:
+        return self._pairs[owner].private
+
+    def public_key(self, owner: int) -> PublicKey:
+        return self._pairs[owner].public
+
+    def owners(self) -> Iterable[int]:
+        return self._pairs.keys()
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, owner: int) -> bool:
+        return owner in self._pairs

@@ -1,0 +1,179 @@
+"""The K-private-key rank-difference encoding used by Ladon-opt (Sec. 5.3).
+
+Standard multi-signatures require every signer to sign the *same* message,
+but in Ladon each replica reports a potentially different highest rank.  The
+paper's trick: give each replica K private keys; a replica whose highest rank
+exceeds the current round's rank by ``k`` signs the (identical) rank message
+with its ``k``-th key.  The leader recovers each replica's rank as
+``rank + k`` from which key verified, and can aggregate the signatures because
+the signed message is now identical across replicas.  Differences ≥ K are
+clamped to the K-th key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.crypto.aggregate import AggregateSignature, aggregate, verify_aggregate
+from repro.crypto.keys import KeyPair, KeyStore, PrivateKey, generate_keypair
+from repro.crypto.signatures import Signature, sign
+
+
+DEFAULT_KEY_COUNT = 16
+
+
+@dataclass
+class MultiKeyPair:
+    """K key pairs owned by one replica, indexed 0..K-1."""
+
+    owner: int
+    pairs: Tuple[KeyPair, ...]
+
+    @property
+    def key_count(self) -> int:
+        return len(self.pairs)
+
+    def key_for_difference(self, difference: int) -> KeyPair:
+        """Select the key index for a rank difference, clamped to K-1."""
+        if difference < 0:
+            raise ValueError("rank difference must be non-negative")
+        index = min(difference, self.key_count - 1)
+        return self.pairs[index]
+
+
+@dataclass(frozen=True)
+class RankEncodedSignature:
+    """A signature whose key index encodes the signer's rank difference."""
+
+    signer: int
+    key_index: int
+    clamped: bool
+    signature: Signature
+
+    def decoded_rank(self, base_rank: int) -> int:
+        """Recover the signer's reported rank from ``base_rank`` + key index.
+
+        If ``clamped`` the true difference may be larger; callers treat the
+        decoded value as a lower bound (the paper sizes K so this is rare).
+        """
+        return base_rank + self.key_index
+
+
+class MultiKeyStore:
+    """PKI for the multi-key scheme: K key pairs per replica.
+
+    Internally backed by one :class:`KeyStore` per key index so that the
+    existing sign/verify/aggregate machinery is reused unchanged.
+    """
+
+    def __init__(self, n: int, key_count: int = DEFAULT_KEY_COUNT) -> None:
+        if key_count < 1:
+            raise ValueError("key_count must be >= 1")
+        self._key_count = key_count
+        self._stores: Tuple[KeyStore, ...] = tuple(KeyStore() for _ in range(key_count))
+        self._multi: Dict[int, MultiKeyPair] = {}
+        for owner in range(n):
+            pairs = []
+            for k in range(key_count):
+                pair = generate_keypair(owner, seed=f"ladon-opt-{owner}-{k}".encode())
+                self._stores[k].register(pair)
+                pairs.append(pair)
+            self._multi[owner] = MultiKeyPair(owner=owner, pairs=tuple(pairs))
+
+    @property
+    def key_count(self) -> int:
+        return self._key_count
+
+    def multikey(self, owner: int) -> MultiKeyPair:
+        return self._multi[owner]
+
+    def store_for_index(self, key_index: int) -> KeyStore:
+        return self._stores[key_index]
+
+    def sign_rank(
+        self,
+        owner: int,
+        base_rank: int,
+        reported_rank: int,
+        *payload: Any,
+    ) -> RankEncodedSignature:
+        """Sign ``payload`` with the key whose index encodes reported-base."""
+        if reported_rank < base_rank:
+            raise ValueError("reported rank cannot be below the base rank")
+        difference = reported_rank - base_rank
+        clamped = difference >= self._key_count
+        pair = self._multi[owner].key_for_difference(difference)
+        key_index = min(difference, self._key_count - 1)
+        return RankEncodedSignature(
+            signer=owner,
+            key_index=key_index,
+            clamped=clamped,
+            signature=sign(pair.private, *payload),
+        )
+
+    def verify_rank(self, encoded: RankEncodedSignature, *payload: Any) -> bool:
+        """Verify a rank-encoded signature against the key index it claims."""
+        store = self._stores[encoded.key_index]
+        from repro.crypto.signatures import verify as _verify
+
+        return _verify(store, encoded.signature, *payload)
+
+    def aggregate_rank_signatures(
+        self, encoded: Sequence[RankEncodedSignature]
+    ) -> "RankAggregate":
+        """Aggregate rank-encoded signatures into one certificate.
+
+        All constituent signatures are over the same payload (the point of
+        the scheme), but may use different key indices; we keep the per-signer
+        key index alongside a single aggregate per index group.
+        """
+        if not encoded:
+            raise ValueError("cannot aggregate an empty set")
+        by_index: Dict[int, list] = {}
+        for item in encoded:
+            by_index.setdefault(item.key_index, []).append(item.signature)
+        aggregates = {index: aggregate(sigs) for index, sigs in by_index.items()}
+        key_indices = {item.signer: item.key_index for item in encoded}
+        return RankAggregate(key_indices=key_indices, aggregates=aggregates)
+
+    def verify_rank_aggregate(
+        self, rank_agg: "RankAggregate", payloads: Mapping[int, Sequence[Any]]
+    ) -> bool:
+        """Verify every constituent of a :class:`RankAggregate`."""
+        if set(payloads.keys()) != set(rank_agg.key_indices.keys()):
+            return False
+        for index, agg_sig in rank_agg.aggregates.items():
+            expected = {
+                signer: payloads[signer]
+                for signer, key_index in rank_agg.key_indices.items()
+                if key_index == index
+            }
+            if set(expected.keys()) != set(agg_sig.signers):
+                return False
+            if not verify_aggregate(self._stores[index], agg_sig, expected):
+                return False
+        return True
+
+
+@dataclass
+class RankAggregate:
+    """Aggregated rank-encoded signatures plus each signer's key index."""
+
+    key_indices: Dict[int, int]
+    aggregates: Dict[int, AggregateSignature] = field(default_factory=dict)
+
+    @property
+    def signers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.key_indices.keys()))
+
+    @property
+    def size_bytes(self) -> int:
+        """One aggregate point plus a per-signer key-index byte."""
+        return 96 + len(self.key_indices)
+
+    def max_key_index(self) -> int:
+        return max(self.key_indices.values())
+
+    def decoded_ranks(self, base_rank: int) -> Dict[int, int]:
+        return {signer: base_rank + k for signer, k in self.key_indices.items()}

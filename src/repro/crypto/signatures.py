@@ -1,0 +1,64 @@
+"""Plain (non-aggregate) signatures used on every protocol message."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import digest
+from repro.crypto.keys import KeyStore, PrivateKey
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over a canonical payload digest."""
+
+    signer: int
+    payload_digest: bytes
+    mac: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload_digest) != 32:
+            raise ValueError("payload digest must be 32 bytes")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size used by the bandwidth model (≈ Ed25519 signature)."""
+        return 64
+
+
+def sign(private: PrivateKey, *payload: Any) -> Signature:
+    """Sign the canonical encoding of ``payload`` with ``private``."""
+    payload_digest = digest(*payload)
+    return Signature(
+        signer=private.owner,
+        payload_digest=payload_digest,
+        mac=private.hmac(payload_digest),
+    )
+
+
+def verify(keystore: KeyStore, signature: Signature, *payload: Any) -> bool:
+    """Check that ``signature`` was produced by its claimed signer over payload."""
+    if signature.signer not in keystore:
+        return False
+    expected_digest = digest(*payload)
+    if expected_digest != signature.payload_digest:
+        return False
+    private = keystore.private_key(signature.signer)
+    return private.hmac(expected_digest) == signature.mac
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A message body paired with its sender's signature.
+
+    ``body`` must be hashable/canonically-encodable (the message dataclasses
+    in :mod:`repro.consensus.messages` expose a ``signing_payload`` tuple).
+    """
+
+    body: Any
+    signature: Signature
+
+    @property
+    def signer(self) -> int:
+        return self.signature.signer

@@ -1,0 +1,19 @@
+"""Measurement: throughput, latency, causal strength and resource accounting."""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.throughput import ThroughputSeries, peak_throughput
+from repro.metrics.latency import LatencyAccumulator
+from repro.metrics.resources import ResourceModel, ResourceUsage, CryptoCostModel
+from repro.metrics.causality import causal_strength_of_run
+
+__all__ = [
+    "MetricsCollector",
+    "RunMetrics",
+    "ThroughputSeries",
+    "peak_throughput",
+    "LatencyAccumulator",
+    "ResourceModel",
+    "ResourceUsage",
+    "CryptoCostModel",
+    "causal_strength_of_run",
+]

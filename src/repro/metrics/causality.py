@@ -1,0 +1,18 @@
+"""Causal-strength computation over a run's confirmed log."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.causality import causal_strength
+from repro.core.ordering import ConfirmedBlock
+
+
+def causal_strength_of_run(confirmed: Sequence[ConfirmedBlock]) -> float:
+    """The CS metric of Sec. 6.4 computed on a replica's confirmed log.
+
+    Thin wrapper over :func:`repro.core.causality.causal_strength`, kept in
+    :mod:`repro.metrics` so that experiment code has a single import point
+    for all run-level metrics.
+    """
+    return causal_strength(confirmed)

@@ -1,0 +1,58 @@
+"""Throughput accounting.
+
+Throughput is defined as the number of transactions delivered to clients per
+second (paper Sec. 6.2); blocks count toward throughput when they become
+*globally confirmed*, not when they are only partially committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ThroughputSeries:
+    """Transactions confirmed per fixed-width time bin."""
+
+    bin_width: float = 1.0
+    _bins: Dict[int, int] = field(default_factory=dict)
+    total_txs: int = 0
+
+    def record(self, time: float, tx_count: int) -> None:
+        if tx_count < 0:
+            raise ValueError("tx_count must be non-negative")
+        index = int(time // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + tx_count
+        self.total_txs += tx_count
+
+    def series(self, until: float = None) -> List[Tuple[float, float]]:
+        """Return (bin start time, tx/s) pairs, including empty bins."""
+        if not self._bins and until is None:
+            return []
+        last = int(until // self.bin_width) if until is not None else max(self._bins)
+        out = []
+        for index in range(0, last + 1):
+            count = self._bins.get(index, 0)
+            out.append((index * self.bin_width, count / self.bin_width))
+        return out
+
+    def average(self, duration: float) -> float:
+        """Average throughput over ``duration`` seconds (tx/s)."""
+        if duration <= 0:
+            return 0.0
+        return self.total_txs / duration
+
+    def peak(self) -> float:
+        """Peak per-bin throughput (tx/s)."""
+        if not self._bins:
+            return 0.0
+        return max(self._bins.values()) / self.bin_width
+
+
+def peak_throughput(confirmations: Sequence[Tuple[float, int]], bin_width: float = 1.0) -> float:
+    """Convenience: peak tx/s over a list of (time, tx_count) confirmations."""
+    series = ThroughputSeries(bin_width=bin_width)
+    for time, count in confirmations:
+        series.record(time, count)
+    return series.peak()

@@ -1,0 +1,23 @@
+"""End-to-end Multi-BFT systems running on the discrete-event simulator.
+
+Each system hosts ``m`` consensus instances per replica, a global ordering
+layer, workload injection, fault/straggler injection, and metric collection.
+Available protocols (see :mod:`repro.protocols.registry`):
+
+* ``ladon-pbft``, ``ladon-opt``, ``ladon-hotstuff`` — the paper's systems;
+* ``iss-pbft``, ``iss-hotstuff`` — ISS with pre-determined ordering;
+* ``mir``, ``rcc`` — Mir and RCC (pre-determined ordering variants);
+* ``dqbft`` — DQBFT with a centralised ordering instance.
+"""
+
+from repro.protocols.base import SystemConfig, MultiBFTSystem, MultiBFTReplica, SystemResult
+from repro.protocols.registry import build_system, available_protocols
+
+__all__ = [
+    "SystemConfig",
+    "MultiBFTSystem",
+    "MultiBFTReplica",
+    "SystemResult",
+    "build_system",
+    "available_protocols",
+]

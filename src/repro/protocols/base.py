@@ -1,0 +1,479 @@
+"""Common scaffolding for the Multi-BFT systems.
+
+A :class:`MultiBFTSystem` builds one :class:`MultiBFTReplica` per replica on
+a shared :class:`~repro.sim.simulator.Simulator` and network.  Each replica
+hosts ``m`` consensus-instance state machines and one global orderer; the
+replica that leads an instance paces its proposals to respect the total block
+rate (16 blocks/s in WAN, 32 in LAN, as in the paper's evaluation), slows
+down if it is a straggler, and leaves its blocks empty if so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.consensus.base import InstanceConfig, InstanceContext
+from repro.consensus.checkpoint import CheckpointManager
+from repro.consensus.messages import CheckpointMessage
+from repro.core.block import Block
+from repro.core.buckets import RotatingBuckets
+from repro.core.epoch import EpochConfig, EpochPacemaker
+from repro.core.ordering import ConfirmedBlock, DynamicOrderer, GlobalOrderer
+from repro.core.predetermined import PredeterminedOrderer
+from repro.core.rank import RankState
+from repro.crypto.aggregate import quorum_threshold
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.resources import ResourceModel
+from repro.sim.faults import FaultConfig, FaultInjector
+from repro.sim.latency import LanLatency, LatencyModel, WanLatency
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.workload.transactions import Batch
+
+
+NO_EPOCH_MAX_RANK = 2**62
+
+
+@dataclass
+class SystemConfig:
+    """Configuration of one experiment run."""
+
+    protocol: str = "ladon-pbft"
+    n: int = 16
+    num_instances: Optional[int] = None  # defaults to n (one instance per replica)
+    batch_size: int = 4096
+    total_block_rate: float = 16.0  # blocks per second across all instances
+    epoch_length: int = 64
+    environment: str = "wan"  # "wan" or "lan"
+    duration: float = 30.0
+    warmup: float = 0.0
+    seed: int = 0
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    synthetic_workload: bool = True
+    payload_bytes: int = 500
+    view_change_timeout: float = 10.0
+    propose_timeout: Optional[float] = None
+    bin_width: float = 1.0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ValueError("need at least 4 replicas")
+        if self.environment not in ("wan", "lan"):
+            raise ValueError("environment must be 'wan' or 'lan'")
+        if self.total_block_rate <= 0:
+            raise ValueError("total block rate must be positive")
+
+    @property
+    def m(self) -> int:
+        return self.num_instances if self.num_instances is not None else self.n
+
+    @property
+    def proposal_interval(self) -> float:
+        """Seconds between proposals of one (non-straggling) leader."""
+        return self.m / self.total_block_rate
+
+    def latency_model(self) -> LatencyModel:
+        if self.environment == "lan":
+            return LanLatency()
+        return WanLatency(self.n)
+
+
+@dataclass
+class SystemResult:
+    """Everything a benchmark needs from one finished run."""
+
+    metrics: RunMetrics
+    confirmed: Tuple[ConfirmedBlock, ...]
+    network_stats: Any
+    resources: ResourceModel
+    throughput_series: List[Tuple[float, float]]
+    view_change_times: List[Tuple[float, int, int]]
+    epoch_advancements: List[Tuple[float, int]]
+    crash_log: List[Tuple[float, int, str]]
+
+
+class ReplicaInstanceContext(InstanceContext):
+    """Routes one instance's callbacks through its hosting replica."""
+
+    def __init__(self, replica: "MultiBFTReplica", instance_id: int) -> None:
+        self.replica = replica
+        self.instance_id = instance_id
+
+    def now(self) -> float:
+        return self.replica.now()
+
+    def send(self, dest: int, message: Any, size_bytes: int) -> None:
+        self.replica.send_protocol_message(dest, message, size_bytes)
+
+    def multicast(self, message: Any, size_bytes: int) -> None:
+        self.replica.multicast_protocol_message(message, size_bytes)
+
+    def deliver(self, block: Block) -> None:
+        self.replica.on_partial_commit(block)
+
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        self.replica.set_timer(f"inst{self.instance_id}:{name}", delay, callback)
+
+    def cancel_timer(self, name: str) -> None:
+        self.replica.cancel_timer(f"inst{self.instance_id}:{name}")
+
+    def record_crypto(self, operation: str, count: int = 1) -> None:
+        self.replica.resources.record_crypto(self.replica.node_id, operation, count)
+
+    def current_rank(self) -> int:
+        return self.replica.rank_state.rank
+
+    def observe_rank(self, rank: int, certificate: Any = None) -> None:
+        self.replica.rank_state.observe(rank, certificate)
+
+    def max_rank(self) -> int:
+        return self.replica.current_max_rank()
+
+    def min_rank(self) -> int:
+        return self.replica.current_min_rank()
+
+    def current_epoch(self) -> int:
+        return self.replica.current_epoch()
+
+
+class MultiBFTReplica(Node):
+    """One replica of a Multi-BFT system.
+
+    Subclasses select the consensus-instance class and the global orderer and
+    may add protocol-specific behaviour (epochs for Ladon, the ordering
+    instance for DQBFT).
+    """
+
+    #: set by subclasses
+    uses_epochs: bool = False
+
+    def __init__(
+        self,
+        node_id: int,
+        simulator: Simulator,
+        network: Network,
+        config: SystemConfig,
+        resources: ResourceModel,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.resources = resources
+        self.rank_state = RankState()
+        self.quorum = quorum_threshold(config.n)
+        self.metrics = MetricsCollector(bin_width=config.bin_width)
+        self.orderer: GlobalOrderer = self.build_orderer()
+        self.instances: Dict[int, Any] = {}
+        self.view_change_log: List[Tuple[float, int, int]] = []
+        self.checkpoints = CheckpointManager(node_id, self.quorum)
+        self.pacemaker: Optional[EpochPacemaker] = None
+        if self.uses_epochs:
+            self.pacemaker = EpochPacemaker(
+                EpochConfig(length=config.epoch_length, num_instances=config.m),
+                quorum=self.quorum,
+            )
+        self._checkpoint_sent_for: set = set()
+        self._build_instances()
+
+    # ------------------------------------------------------------- factories
+    def build_orderer(self) -> GlobalOrderer:
+        raise NotImplementedError
+
+    def instance_class(self) -> Type:
+        raise NotImplementedError
+
+    def build_instance(self, instance_id: int) -> Any:
+        """Construct the state machine for ``instance_id`` at this replica."""
+        inst_config = InstanceConfig(
+            instance_id=instance_id,
+            replica_id=self.node_id,
+            n=self.config.n,
+            batch_size=self.config.batch_size,
+            epoch_length=self.config.epoch_length,
+            view_change_timeout=self.config.view_change_timeout,
+            tx_payload_bytes=self.config.payload_bytes,
+        )
+        context = ReplicaInstanceContext(self, instance_id)
+        return self.instance_class()(
+            inst_config, context, propose_timeout=self.config.propose_timeout
+        )
+
+    def _build_instances(self) -> None:
+        for instance_id in range(self.config.m):
+            instance = self.build_instance(instance_id)
+            instance.on_view_installed = (
+                lambda view, iid=instance_id: self._on_view_installed(iid, view)
+            )
+            self.instances[instance_id] = instance
+
+    # ------------------------------------------------------------------ epoch
+    def current_epoch(self) -> int:
+        return self.pacemaker.current_epoch if self.pacemaker else 0
+
+    def current_max_rank(self) -> int:
+        return self.pacemaker.max_rank() if self.pacemaker else NO_EPOCH_MAX_RANK
+
+    def current_min_rank(self) -> int:
+        return self.pacemaker.min_rank() if self.pacemaker else 0
+
+    # ------------------------------------------------------------------ start
+    def paced_instance_ids(self) -> List[int]:
+        """Instance ids driven by the standard batch-proposal pacing.
+
+        Subclasses exclude special instances (e.g. DQBFT's ordering instance)
+        that are paced by their own logic.
+        """
+        return list(self.instances.keys())
+
+    def start(self) -> None:
+        """Start instances and, where this replica leads, the proposal pacing."""
+        for instance in self.instances.values():
+            if hasattr(instance, "start"):
+                instance.start()
+        interval = self.config.proposal_interval
+        for instance_id in self.paced_instance_ids():
+            instance = self.instances[instance_id]
+            if instance.leader != self.node_id:
+                continue
+            # Stagger instances across the proposal interval so the aggregate
+            # block rate is smooth rather than bursty.
+            offset = (instance_id / max(1, self.config.m)) * interval
+            self.set_timer(
+                f"pace:{instance_id}",
+                offset + 1e-6,
+                lambda iid=instance_id: self._proposal_tick(iid),
+            )
+
+    # --------------------------------------------------------------- proposing
+    def _straggler_factor(self) -> float:
+        return self.config.faults.slowdown_of(self.node_id)
+
+    def _is_straggler(self) -> bool:
+        return self.config.faults.is_straggler(self.node_id)
+
+    def _proposal_tick(self, instance_id: int) -> None:
+        if self.crashed:
+            return
+        instance = self.instances[instance_id]
+        interval = self.config.proposal_interval * self._straggler_factor()
+        if instance.leader != self.node_id:
+            return  # lost leadership through a view change
+        if instance.ready_to_propose():
+            batch = self.make_batch(instance_id)
+            instance.propose(batch, self.now())
+            self.set_timer(
+                f"pace:{instance_id}",
+                interval,
+                lambda iid=instance_id: self._proposal_tick(iid),
+            )
+        else:
+            # Not ready (previous round still in flight, epoch boundary, ...):
+            # retry shortly without consuming a full proposal slot.
+            retry = max(0.02, 0.05 * self.config.proposal_interval)
+            self.set_timer(
+                f"pace:{instance_id}",
+                retry,
+                lambda iid=instance_id: self._proposal_tick(iid),
+            )
+
+    def make_batch(self, instance_id: int) -> Batch:
+        """Cut the batch the leader proposes for ``instance_id``.
+
+        Stragglers propose empty blocks (they "do not include transactions in
+        their blocks", Sec. 6.1); everyone else cuts a full synthetic batch
+        under the saturated open-loop workload.
+        """
+        if self._is_straggler():
+            return Batch.empty()
+        if self.config.synthetic_workload:
+            # Under the saturated open-loop workload, the transactions in a
+            # batch arrived uniformly during the interval since the previous
+            # cut, so their mean submission time is half an interval ago.
+            queueing = self.config.proposal_interval / 2.0
+            return Batch.synthetic(
+                self.config.batch_size,
+                submitted_at=max(0.0, self.now() - queueing),
+                payload_bytes=self.config.payload_bytes,
+            )
+        return self.cut_real_batch(instance_id)
+
+    def cut_real_batch(self, instance_id: int) -> Batch:
+        """Hook for systems wired to a real transaction workload."""
+        return Batch.empty()
+
+    # --------------------------------------------------------------- messaging
+    def send_protocol_message(self, dest: int, message: Any, size_bytes: int) -> None:
+        self.resources.record_bytes_sent(self.node_id, size_bytes)
+        if dest == self.node_id:
+            # Loopback without a network hop.
+            self._dispatch(self.node_id, message)
+            return
+        self.send(dest, message, size_bytes)
+
+    def multicast_protocol_message(self, message: Any, size_bytes: int) -> None:
+        receivers = self.network.registered_nodes()
+        self.resources.record_bytes_sent(self.node_id, size_bytes * max(0, len(receivers) - 1))
+        for receiver in receivers:
+            if receiver == self.node_id:
+                self._dispatch(self.node_id, message)
+            else:
+                self.send(receiver, message, size_bytes)
+
+    def on_message(self, sender: int, message: Any) -> None:
+        self.resources.record_message_handled(self.node_id, getattr(message, "size_bytes", 0))
+        self._dispatch(sender, message)
+
+    def _dispatch(self, sender: int, message: Any) -> None:
+        if isinstance(message, CheckpointMessage):
+            self._on_checkpoint(sender, message)
+            return
+        instance_id = getattr(message, "instance", None)
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            self.handle_extra_message(sender, message)
+            return
+        instance.on_message(sender, message)
+
+    def handle_extra_message(self, sender: int, message: Any) -> None:
+        """Hook for subclass-specific messages (e.g. DQBFT sequencing)."""
+
+    # ------------------------------------------------------------ commit path
+    def on_partial_commit(self, block: Block) -> None:
+        self.metrics.record_partial_commit()
+        if self.pacemaker is not None:
+            self.pacemaker.observe_commit(block.instance, block.rank, self.now())
+        newly = self.feed_orderer(block)
+        if newly:
+            self.metrics.record_confirmations(newly)
+            self.on_confirmations(newly)
+        if self.pacemaker is not None:
+            self._maybe_checkpoint()
+
+    def feed_orderer(self, block: Block) -> List[ConfirmedBlock]:
+        return self.orderer.add_partially_committed(block, self.now())
+
+    def on_confirmations(self, confirmed: List[ConfirmedBlock]) -> None:
+        """Hook: subclasses may react to newly confirmed blocks."""
+
+    # ------------------------------------------------------------- checkpoints
+    def _maybe_checkpoint(self) -> None:
+        epoch = self.pacemaker.current_epoch
+        if not self.pacemaker.epoch_complete(epoch):
+            return
+        if epoch in self._checkpoint_sent_for:
+            return
+        self._checkpoint_sent_for.add(epoch)
+        message = self.checkpoints.build_checkpoint(epoch, len(self.orderer.confirmed))
+        self.resources.record_crypto(self.node_id, "sign")
+        self.multicast_protocol_message(message, message.size_bytes)
+
+    def _on_checkpoint(self, sender: int, message: CheckpointMessage) -> None:
+        self.resources.record_crypto(self.node_id, "verify")
+        became_stable = self.checkpoints.on_checkpoint(message)
+        if self.pacemaker is None:
+            return
+        self.pacemaker.observe_checkpoint(message.epoch, sender)
+        if became_stable or self.checkpoints.is_stable(message.epoch):
+            advanced = self.pacemaker.try_advance(self.now())
+            if advanced:
+                self._on_epoch_advanced(self.pacemaker.current_epoch)
+
+    def _on_epoch_advanced(self, new_epoch: int) -> None:
+        for instance in self.instances.values():
+            if hasattr(instance, "begin_epoch"):
+                instance.begin_epoch(new_epoch)
+
+    # ------------------------------------------------------------ view change
+    def _on_view_installed(self, instance_id: int, view: int) -> None:
+        self.view_change_log.append((self.now(), instance_id, view))
+        instance = self.instances[instance_id]
+        if instance.leader == self.node_id and not self.has_timer(f"pace:{instance_id}"):
+            self.set_timer(
+                f"pace:{instance_id}",
+                0.01,
+                lambda iid=instance_id: self._proposal_tick(iid),
+            )
+
+
+class MultiBFTSystem:
+    """Builds and runs one Multi-BFT deployment on the simulator."""
+
+    replica_class: Type[MultiBFTReplica] = MultiBFTReplica
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.trace = TraceRecorder(enabled=config.trace)
+        self.simulator = Simulator(seed=config.seed, trace=self.trace)
+        self.network = Network(
+            self.simulator,
+            latency=config.latency_model(),
+            config=NetworkConfig(),
+        )
+        self.resources = ResourceModel()
+        self.replicas: Dict[int, MultiBFTReplica] = {}
+        for replica_id in range(config.n):
+            self.replicas[replica_id] = self.build_replica(replica_id)
+        self.fault_injector = FaultInjector(self.simulator, self.replicas, config.faults)
+
+    # ------------------------------------------------------------- factories
+    def build_replica(self, replica_id: int) -> MultiBFTReplica:
+        return self.replica_class(
+            replica_id, self.simulator, self.network, self.config, self.resources
+        )
+
+    # ------------------------------------------------------------------- run
+    def observer_id(self) -> int:
+        """The replica whose log and metrics the experiment reports.
+
+        Pick the lowest-id replica that neither straggles nor crashes, so the
+        reported numbers reflect an honest, live participant (as a client
+        would observe).
+        """
+        excluded = {spec.replica for spec in self.config.faults.stragglers}
+        excluded.update(spec.replica for spec in self.config.faults.crashes)
+        for replica_id in range(self.config.n):
+            if replica_id not in excluded:
+                return replica_id
+        return 0
+
+    def run(self) -> SystemResult:
+        self.fault_injector.arm()
+        for replica in self.replicas.values():
+            replica.start()
+        self.simulator.run(until=self.config.duration)
+        return self.collect_result()
+
+    def collect_result(self) -> SystemResult:
+        observer = self.replicas[self.observer_id()]
+        # Attribute network byte counts to per-replica resource usage so that
+        # the bandwidth numbers reflect what was actually pushed to the NIC.
+        for replica_id, byte_count in self.network.stats.bytes_per_node.items():
+            usage = self.resources.usage(replica_id)
+            usage.bytes_sent = max(usage.bytes_sent, byte_count)
+        metrics = observer.metrics.summarise(
+            protocol=self.config.protocol,
+            n=self.config.n,
+            stragglers=self.config.faults.straggler_count(),
+            duration=self.config.duration,
+            resources=self.resources,
+            warmup=self.config.warmup,
+        )
+        view_changes: List[Tuple[float, int, int]] = []
+        for replica in self.replicas.values():
+            view_changes.extend(replica.view_change_log)
+        epoch_log: List[Tuple[float, int]] = []
+        if observer.pacemaker is not None:
+            epoch_log = list(observer.pacemaker.advancement_log)
+        return SystemResult(
+            metrics=metrics,
+            confirmed=observer.orderer.confirmed,
+            network_stats=self.network.stats,
+            resources=self.resources,
+            throughput_series=observer.metrics.throughput.series(until=self.config.duration),
+            view_change_times=sorted(view_changes),
+            epoch_advancements=epoch_log,
+            crash_log=list(self.fault_injector.crash_log),
+        )

@@ -1,0 +1,46 @@
+"""ISS: pre-determined global ordering over PBFT or HotStuff instances.
+
+ISS (Stathakopoulou et al., EuroSys 2022) assigns every block a global index
+determined by its (instance, round) before the block exists; replicas execute
+blocks strictly in index order, so a hole left by a slow instance blocks all
+later indices (the behaviour Sec. 2.1 analyses).
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.consensus.hotstuff import HotStuffInstance
+from repro.consensus.pbft import PBFTInstance
+from repro.core.ordering import GlobalOrderer
+from repro.core.predetermined import PredeterminedOrderer
+from repro.protocols.base import MultiBFTReplica, MultiBFTSystem
+
+
+class ISSReplica(MultiBFTReplica):
+    """A replica running ISS (pre-determined ordering, PBFT instances)."""
+
+    uses_epochs = False
+    instance_cls: Type = PBFTInstance
+
+    def build_orderer(self) -> GlobalOrderer:
+        return PredeterminedOrderer(num_instances=self.config.m)
+
+    def instance_class(self) -> Type:
+        return self.instance_cls
+
+
+class ISSPBFTReplica(ISSReplica):
+    instance_cls = PBFTInstance
+
+
+class ISSHotStuffReplica(ISSReplica):
+    instance_cls = HotStuffInstance
+
+
+class ISSPBFTSystem(MultiBFTSystem):
+    replica_class = ISSPBFTReplica
+
+
+class ISSHotStuffSystem(MultiBFTSystem):
+    replica_class = ISSHotStuffReplica

@@ -1,0 +1,79 @@
+"""Ladon systems: Ladon-PBFT, Ladon-opt and Ladon-HotStuff.
+
+All three use the dynamic global orderer (Algorithm 1) and the epoch
+pacemaker; they differ only in the consensus-instance state machine.  A
+replica configured as a *Byzantine* straggler additionally applies the
+lowest-2f+1 rank manipulation in the instance it leads (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.consensus.base import InstanceConfig
+from repro.consensus.ladon_hotstuff import LadonHotStuffInstance
+from repro.consensus.ladon_opt import LadonOptInstance
+from repro.consensus.ladon_pbft import LadonPBFTInstance
+from repro.core.ordering import DynamicOrderer, GlobalOrderer
+from repro.protocols.base import MultiBFTReplica, MultiBFTSystem, ReplicaInstanceContext
+
+
+class LadonReplica(MultiBFTReplica):
+    """A replica running Ladon (dynamic ordering + epochs)."""
+
+    uses_epochs = True
+    instance_cls: Type = LadonPBFTInstance
+
+    def build_orderer(self) -> GlobalOrderer:
+        return DynamicOrderer(num_instances=self.config.m)
+
+    def instance_class(self) -> Type:
+        return self.instance_cls
+
+    def build_instance(self, instance_id: int) -> Any:
+        inst_config = InstanceConfig(
+            instance_id=instance_id,
+            replica_id=self.node_id,
+            n=self.config.n,
+            batch_size=self.config.batch_size,
+            epoch_length=self.config.epoch_length,
+            view_change_timeout=self.config.view_change_timeout,
+            tx_payload_bytes=self.config.payload_bytes,
+        )
+        context = ReplicaInstanceContext(self, instance_id)
+        # Only the instance this replica leads can be driven Byzantine; the
+        # manipulation is a leader-side strategy.
+        byzantine = (
+            self.config.faults.is_byzantine(self.node_id)
+            and inst_config.leader_for_view(0) == self.node_id
+        )
+        return self.instance_class()(
+            inst_config,
+            context,
+            propose_timeout=self.config.propose_timeout,
+            byzantine_rank_manipulation=byzantine,
+        )
+
+
+class LadonPBFTReplica(LadonReplica):
+    instance_cls = LadonPBFTInstance
+
+
+class LadonOptReplica(LadonReplica):
+    instance_cls = LadonOptInstance
+
+
+class LadonHotStuffReplica(LadonReplica):
+    instance_cls = LadonHotStuffInstance
+
+
+class LadonPBFTSystem(MultiBFTSystem):
+    replica_class = LadonPBFTReplica
+
+
+class LadonOptSystem(MultiBFTSystem):
+    replica_class = LadonOptReplica
+
+
+class LadonHotStuffSystem(MultiBFTSystem):
+    replica_class = LadonHotStuffReplica

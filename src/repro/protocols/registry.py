@@ -1,0 +1,54 @@
+"""Protocol registry: maps protocol names to system factories."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.protocols.base import MultiBFTSystem, SystemConfig
+from repro.protocols.dqbft import DQBFTSystem
+from repro.protocols.iss import ISSHotStuffSystem, ISSPBFTSystem
+from repro.protocols.ladon import LadonHotStuffSystem, LadonOptSystem, LadonPBFTSystem
+from repro.protocols.mir import MirSystem
+from repro.protocols.rcc import RCCSystem
+
+
+_REGISTRY: Dict[str, Type[MultiBFTSystem]] = {
+    "ladon-pbft": LadonPBFTSystem,
+    "ladon-opt": LadonOptSystem,
+    "ladon-hotstuff": LadonHotStuffSystem,
+    "iss-pbft": ISSPBFTSystem,
+    "iss-hotstuff": ISSHotStuffSystem,
+    "mir": MirSystem,
+    "rcc": RCCSystem,
+    "dqbft": DQBFTSystem,
+}
+
+_ALIASES: Dict[str, str] = {
+    "ladon": "ladon-pbft",
+    "iss": "iss-pbft",
+    "mir-pbft": "mir",
+    "rcc-pbft": "rcc",
+    "dqbft-pbft": "dqbft",
+}
+
+
+def available_protocols() -> List[str]:
+    """The canonical protocol names accepted by :func:`build_system`."""
+    return sorted(_REGISTRY.keys())
+
+
+def resolve_protocol(name: str) -> str:
+    """Resolve an alias to its canonical protocol name."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        )
+    return canonical
+
+
+def build_system(config: SystemConfig) -> MultiBFTSystem:
+    """Build the Multi-BFT system named by ``config.protocol``."""
+    canonical = resolve_protocol(config.protocol)
+    system_class = _REGISTRY[canonical]
+    return system_class(config)

@@ -1,0 +1,32 @@
+"""Virtual clock for the discrete-event simulator."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in seconds.
+
+    The clock only moves when the simulator processes an event; protocol code
+    reads it via :meth:`now` and never sleeps.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises ``ValueError`` if asked to move backwards, which would indicate
+        a scheduling bug.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards ({timestamp:.6f} < {self._now:.6f})"
+            )
+        self._now = timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,134 @@
+"""Fault and straggler injection.
+
+The evaluation distinguishes (Sec. 6.1 "Straggler settings"):
+
+* **honest stragglers** — leaders that follow the protocol but propose at
+  ``1/k`` of the normal rate, without triggering timeouts, and do not include
+  transactions in their blocks;
+* **Byzantine stragglers** — honest-straggler behaviour plus rank
+  manipulation: they collect more than 2f+1 rank reports, discard the highest
+  and use only the lowest 2f+1 (Sec. 4.4, Appendix B case 3);
+* **crash faults** — a replica stops at a configured time; the instance it
+  leads recovers through a view change (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """One straggling leader.
+
+    ``slowdown`` is the ``k`` of the paper: the straggler proposes blocks at
+    ``1/k`` of the normal leaders' rate.  ``byzantine`` selects the rank
+    manipulation strategy on top of the slow proposals.
+    """
+
+    replica: int
+    slowdown: float = 10.0
+    byzantine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown k must be >= 1")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash ``replica`` at virtual time ``at`` (seconds)."""
+
+    replica: int
+    at: float
+    recover_at: Optional[float] = None
+
+
+@dataclass
+class FaultConfig:
+    """All fault injection for one experiment run."""
+
+    stragglers: Tuple[StragglerSpec, ...] = ()
+    crashes: Tuple[CrashSpec, ...] = ()
+
+    @classmethod
+    def with_stragglers(
+        cls,
+        count: int,
+        n: int,
+        slowdown: float = 10.0,
+        byzantine: bool = False,
+        seed: int = 0,
+    ) -> "FaultConfig":
+        """Randomly select ``count`` straggling leaders out of ``n`` replicas.
+
+        Matches the paper's setting where stragglers are chosen at random;
+        the selection is deterministic for a given seed.
+        """
+        if count < 0 or count > n:
+            raise ValueError("straggler count must be within [0, n]")
+        rng = random.Random(seed)
+        chosen = rng.sample(range(n), count) if count else []
+        specs = tuple(
+            StragglerSpec(replica=r, slowdown=slowdown, byzantine=byzantine)
+            for r in sorted(chosen)
+        )
+        return cls(stragglers=specs)
+
+    def straggler_map(self) -> Dict[int, StragglerSpec]:
+        return {spec.replica: spec for spec in self.stragglers}
+
+    def is_straggler(self, replica: int) -> bool:
+        return any(spec.replica == replica for spec in self.stragglers)
+
+    def is_byzantine(self, replica: int) -> bool:
+        return any(spec.replica == replica and spec.byzantine for spec in self.stragglers)
+
+    def slowdown_of(self, replica: int) -> float:
+        for spec in self.stragglers:
+            if spec.replica == replica:
+                return spec.slowdown
+        return 1.0
+
+    def straggler_count(self) -> int:
+        return len(self.stragglers)
+
+
+class FaultInjector:
+    """Schedules crash/recovery events against a set of nodes."""
+
+    def __init__(self, simulator, nodes: Dict[int, "object"], config: FaultConfig) -> None:
+        self.simulator = simulator
+        self.nodes = nodes
+        self.config = config
+        self.crash_log: List[Tuple[float, int, str]] = []
+
+    def arm(self) -> None:
+        """Install all configured crash/recovery events on the simulator."""
+        for spec in self.config.crashes:
+            self._arm_crash(spec)
+
+    def _arm_crash(self, spec: CrashSpec) -> None:
+        node = self.nodes.get(spec.replica)
+        if node is None:
+            raise KeyError(f"cannot crash unknown replica {spec.replica}")
+
+        def _crash() -> None:
+            node.crash()
+            self.crash_log.append((self.simulator.now(), spec.replica, "crash"))
+
+        self.simulator.schedule_at(spec.at, _crash, label=f"crash:{spec.replica}")
+
+        if spec.recover_at is not None:
+            if spec.recover_at <= spec.at:
+                raise ValueError("recovery must come after the crash")
+
+            def _recover() -> None:
+                node.recover()
+                self.crash_log.append((self.simulator.now(), spec.replica, "recover"))
+
+            self.simulator.schedule_at(
+                spec.recover_at, _recover, label=f"recover:{spec.replica}"
+            )

@@ -1,0 +1,126 @@
+"""Network latency models.
+
+The paper deploys replicas in a LAN (one AWS region, 1 Gbps) and a WAN
+spanning four regions: France (eu-west-3), N. America, Australia and Tokyo.
+We model point-to-point propagation delay with a symmetric region matrix whose
+entries approximate public inter-region RTT/2 figures, plus a small jitter
+term drawn from a seeded RNG so repeated sends do not synchronise artificially.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Region:
+    """A deployment region with a human-readable name."""
+
+    name: str
+
+
+DEFAULT_WAN_REGIONS: Tuple[Region, ...] = (
+    Region("eu-west-3"),      # Paris, France
+    Region("us-east-1"),      # N. Virginia, America
+    Region("ap-southeast-2"), # Sydney, Australia
+    Region("ap-northeast-1"), # Tokyo
+)
+
+# One-way delays (seconds) between the default WAN regions, approximating
+# public inter-region RTT measurements divided by two.
+_WAN_ONE_WAY_DELAY: Dict[Tuple[str, str], float] = {
+    ("eu-west-3", "eu-west-3"): 0.0005,
+    ("us-east-1", "us-east-1"): 0.0005,
+    ("ap-southeast-2", "ap-southeast-2"): 0.0005,
+    ("ap-northeast-1", "ap-northeast-1"): 0.0005,
+    ("eu-west-3", "us-east-1"): 0.040,
+    ("eu-west-3", "ap-southeast-2"): 0.140,
+    ("eu-west-3", "ap-northeast-1"): 0.110,
+    ("us-east-1", "ap-southeast-2"): 0.100,
+    ("us-east-1", "ap-northeast-1"): 0.075,
+    ("ap-southeast-2", "ap-northeast-1"): 0.055,
+}
+
+
+class LatencyModel:
+    """Base class: maps (sender, receiver) to a propagation delay in seconds."""
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class UniformLatency(LatencyModel):
+    """Constant delay plus uniform jitter — useful for tests."""
+
+    def __init__(self, base: float = 0.001, jitter: float = 0.0) -> None:
+        if base < 0 or jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter = jitter
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        if sender == receiver:
+            return 0.0
+        return self.base + (rng.random() * self.jitter if self.jitter else 0.0)
+
+
+class LanLatency(LatencyModel):
+    """Single-datacenter latency: sub-millisecond with small jitter."""
+
+    def __init__(self, base: float = 0.0005, jitter: float = 0.0003) -> None:
+        self.base = base
+        self.jitter = jitter
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        if sender == receiver:
+            return 0.0
+        return self.base + rng.random() * self.jitter
+
+
+class WanLatency(LatencyModel):
+    """Four-region WAN latency as in the paper's deployment.
+
+    Replicas are assigned to regions round-robin (the paper distributes them
+    evenly across the four regions).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        regions: Sequence[Region] = DEFAULT_WAN_REGIONS,
+        jitter: float = 0.005,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.regions: Tuple[Region, ...] = tuple(regions)
+        self.jitter = jitter
+        self._assignment: List[str] = [
+            self.regions[i % len(self.regions)].name for i in range(n)
+        ]
+
+    def region_of(self, replica: int) -> str:
+        return self._assignment[replica]
+
+    def _base_delay(self, region_a: str, region_b: str) -> float:
+        key = (region_a, region_b)
+        if key in _WAN_ONE_WAY_DELAY:
+            return _WAN_ONE_WAY_DELAY[key]
+        key = (region_b, region_a)
+        if key in _WAN_ONE_WAY_DELAY:
+            return _WAN_ONE_WAY_DELAY[key]
+        # Unknown custom region pair: assume a generic intercontinental delay.
+        return 0.100
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        if sender == receiver:
+            return 0.0
+        base = self._base_delay(self.region_of(sender), self.region_of(receiver))
+        return base + rng.random() * self.jitter
+
+    def describe(self) -> str:
+        return f"WAN({len(self.regions)} regions)"

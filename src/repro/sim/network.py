@@ -1,0 +1,133 @@
+"""Message delivery: latency + bandwidth model, per-link statistics.
+
+The paper limits each replica's NIC to 1 Gbps and observes that neither ISS
+nor Ladon is CPU-bound.  We model transmission time as ``bytes / bandwidth``
+serialised per sender (a sender's messages queue behind each other on its
+uplink) plus the propagation delay from the latency model.  Byte counts feed
+the Table 1 bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.sim.latency import LatencyModel, UniformLatency
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import Simulator
+
+
+GIGABIT_PER_SECOND_BYTES = 125_000_000  # 1 Gbps in bytes/second
+
+
+@dataclass
+class NetworkConfig:
+    """Configuration of the message transport."""
+
+    bandwidth_bytes_per_s: float = GIGABIT_PER_SECOND_BYTES
+    drop_probability: float = 0.0
+    processing_delay: float = 0.00002  # per-message handling cost at receiver
+    duplicate_probability: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport statistics for one run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_per_node: Dict[int, int] = field(default_factory=dict)
+    messages_per_node: Dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, sender: int, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.bytes_per_node[sender] = self.bytes_per_node.get(sender, 0) + size
+        self.messages_per_node[sender] = self.messages_per_node.get(sender, 0) + 1
+
+
+class Network:
+    """Delivers messages between nodes registered with the simulator.
+
+    Nodes call :meth:`send` / :meth:`multicast`; the network computes delivery
+    times and schedules the receiver's ``deliver`` callback.  A partitioned or
+    crashed node can be isolated via :meth:`set_link_filter`.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        latency: Optional[LatencyModel] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency if latency is not None else UniformLatency()
+        self.config = config if config is not None else NetworkConfig()
+        self.stats = NetworkStats()
+        self._handlers: Dict[int, Callable[[int, Any], None]] = {}
+        self._uplink_free_at: Dict[int, float] = {}
+        self._link_filter: Optional[Callable[[int, int], bool]] = None
+        self._rng = random.Random(simulator.rng.randint(0, 2**31 - 1))
+
+    # --------------------------------------------------------- registration
+    def register(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
+        """Register the message handler for ``node_id``."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+        self._uplink_free_at[node_id] = 0.0
+
+    def unregister(self, node_id: int) -> None:
+        self._handlers.pop(node_id, None)
+
+    def set_link_filter(self, predicate: Optional[Callable[[int, int], bool]]) -> None:
+        """Install a predicate(sender, receiver) -> deliverable? (None = all)."""
+        self._link_filter = predicate
+
+    # --------------------------------------------------------------- sending
+    def send(self, sender: int, receiver: int, message: Any, size_bytes: int = 0) -> None:
+        """Send one message; loopback messages are delivered with zero latency."""
+        self.stats.record_send(sender, size_bytes)
+        if self._link_filter is not None and not self._link_filter(sender, receiver):
+            self.stats.messages_dropped += 1
+            return
+        if self.config.drop_probability and self._rng.random() < self.config.drop_probability:
+            self.stats.messages_dropped += 1
+            return
+
+        now = self.simulator.now()
+        transmission = size_bytes / self.config.bandwidth_bytes_per_s if size_bytes else 0.0
+        # Serialise on the sender's uplink.
+        uplink_free = max(self._uplink_free_at.get(sender, 0.0), now)
+        departure = uplink_free + transmission
+        self._uplink_free_at[sender] = departure
+        propagation = self.latency.delay(sender, receiver, self._rng)
+        arrival = departure + propagation + self.config.processing_delay
+
+        def _deliver() -> None:
+            handler = self._handlers.get(receiver)
+            if handler is None:
+                self.stats.messages_dropped += 1
+                return
+            self.stats.messages_delivered += 1
+            handler(sender, message)
+
+        self.simulator.schedule_at(arrival, _deliver, label=f"deliver:{sender}->{receiver}")
+
+    def multicast(self, sender: int, receivers: "list[int] | tuple[int, ...]", message: Any, size_bytes: int = 0) -> None:
+        """Send the same message to every receiver (including possibly sender)."""
+        for receiver in receivers:
+            self.send(sender, receiver, message, size_bytes)
+
+    def broadcast(self, sender: int, message: Any, size_bytes: int = 0) -> None:
+        """Send to every registered node, including the sender itself."""
+        for receiver in list(self._handlers.keys()):
+            self.send(sender, receiver, message, size_bytes)
+
+    # ------------------------------------------------------------- inspection
+    def registered_nodes(self) -> "list[int]":
+        return sorted(self._handlers.keys())

@@ -1,0 +1,105 @@
+"""Node (replica process) abstraction.
+
+A :class:`Node` owns a node id, a reference to the simulator and network,
+and provides timers plus send/multicast helpers.  Protocol replicas subclass
+it and implement :meth:`on_message`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.events import Event
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Timer:
+    """A cancellable timer owned by a node."""
+
+    name: str
+    event: Event
+
+    def cancel(self) -> None:
+        self.event.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.event.cancelled
+
+
+class Node:
+    """Base class for simulated processes (replicas, clients, injectors)."""
+
+    def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
+        self.node_id = node_id
+        self.simulator = simulator
+        self.network = network
+        self.crashed = False
+        self._timers: Dict[str, Timer] = {}
+        network.register(node_id, self._receive)
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        return self.simulator.now()
+
+    # ------------------------------------------------------------- messaging
+    def send(self, receiver: int, message: Any, size_bytes: int = 0) -> None:
+        if self.crashed:
+            return
+        self.network.send(self.node_id, receiver, message, size_bytes)
+
+    def multicast(self, receivers, message: Any, size_bytes: int = 0) -> None:
+        if self.crashed:
+            return
+        self.network.multicast(self.node_id, receivers, message, size_bytes)
+
+    def _receive(self, sender: int, message: Any) -> None:
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    def on_message(self, sender: int, message: Any) -> None:
+        """Handle an incoming message; subclasses override."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- timers
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> Timer:
+        """Start (or restart) a named timer firing ``delay`` seconds from now."""
+        self.cancel_timer(name)
+
+        def _fire() -> None:
+            self._timers.pop(name, None)
+            if not self.crashed:
+                callback()
+
+        event = self.simulator.schedule_after(delay, _fire, label=f"timer:{self.node_id}:{name}")
+        timer = Timer(name=name, event=event)
+        self._timers[name] = timer
+        return timer
+
+    def cancel_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    def has_timer(self, name: str) -> bool:
+        timer = self._timers.get(name)
+        return timer is not None and timer.active
+
+    # ----------------------------------------------------------------- faults
+    def crash(self) -> None:
+        """Crash the node: it stops sending, receiving, and firing timers."""
+        self.crashed = True
+        for timer in list(self._timers.values()):
+            timer.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Recover a crashed node (it rejoins with its pre-crash state)."""
+        self.crashed = False
+
+    def start(self) -> None:
+        """Hook called once by the system after every node is constructed."""

@@ -1,0 +1,94 @@
+"""Discrete-event simulator core."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """Schedules callbacks on a virtual timeline and runs them in order.
+
+    The simulator is intentionally small: protocol behaviour lives in the
+    nodes; the network translates sends into scheduled deliveries.  The same
+    simulator instance is shared by the network, every node, and the fault
+    injectors so that all of them observe one consistent clock.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------ scheduling
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self.now():
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now()})")
+        return self.queue.push(time, callback, label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.now() + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        self.queue.cancel(event)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    # -------------------------------------------------------------- run loop
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` passes, or limits hit.
+
+        Returns the clock value when the loop stops.
+        """
+        self._stopped = False
+        processed = 0
+        while self.queue and not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return self.now()
+            event = self.queue.pop()
+            if event is None:
+                break
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self.now() < until and not self._stopped:
+            self.clock.advance_to(until)
+        return self.now()
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.callback()
+        self._events_processed += 1
+        return True

@@ -1,0 +1,49 @@
+"""Structured tracing for simulation runs.
+
+Traces are optional (disabled by default to keep large sweeps cheap) and are
+used by tests and the crash-recovery figure to inspect protocol behaviour
+without reaching into node internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a timestamp, a category, a node, and details."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    details: Dict[str, Any]
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records during a run."""
+
+    enabled: bool = True
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, category: str, node: Optional[int] = None, **details: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time=time, category=category, node=node, details=dict(details)))
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.category == category]
+
+    def by_node(self, node: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.node == node]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,81 @@
+"""Client-side bookkeeping.
+
+The paper measures end-to-end latency from transaction submission until the
+client receives f+1 matching replies.  In the simulator every honest replica
+delivers globally confirmed blocks, so the f+1-th reply a client receives for
+a transaction arrives at (approximately) the confirmation time at the
+(f+1)-th fastest replica; we track confirmation at the observing replica and
+add the reply's network delay when a latency model is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workload.transactions import Transaction
+
+
+@dataclass
+class ClientStats:
+    """Aggregate client-observed statistics."""
+
+    submitted: int = 0
+    confirmed: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def record_submission(self, count: int = 1) -> None:
+        self.submitted += count
+
+    def record_confirmation(self, latency: float) -> None:
+        self.confirmed += 1
+        self.latencies.append(latency)
+
+    @property
+    def average_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile_latency(self, percentile: float) -> float:
+        if not self.latencies:
+            return 0.0
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round((percentile / 100.0) * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class ClientPool:
+    """Tracks per-transaction submission times and confirmations."""
+
+    def __init__(self, reply_delay: float = 0.0) -> None:
+        self.reply_delay = reply_delay
+        self.stats = ClientStats()
+        self._submission_time: Dict[int, float] = {}
+        self._confirmed: set = set()
+
+    def submit(self, tx: Transaction) -> None:
+        self._submission_time[tx.tx_id] = tx.submitted_at
+        self.stats.record_submission()
+
+    def submit_many(self, txs) -> None:
+        for tx in txs:
+            self.submit(tx)
+
+    def confirm(self, tx: Transaction, confirmed_at: float) -> Optional[float]:
+        """Record the confirmation of ``tx``; returns its end-to-end latency."""
+        if tx.tx_id in self._confirmed:
+            return None
+        submitted = self._submission_time.get(tx.tx_id)
+        if submitted is None:
+            return None
+        self._confirmed.add(tx.tx_id)
+        latency = (confirmed_at + self.reply_delay) - submitted
+        self.stats.record_confirmation(latency)
+        return latency
+
+    @property
+    def outstanding(self) -> int:
+        return self.stats.submitted - self.stats.confirmed

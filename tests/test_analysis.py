@@ -1,0 +1,105 @@
+"""Tests for the analytical models (Sec. 2.1 and Appendix A)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    compare_protocol_complexity,
+    ladon_opt_complexity,
+    ladon_pbft_complexity,
+    pbft_complexity,
+)
+from repro.analysis.straggler_model import (
+    StragglerModelConfig,
+    dynamic_ordering_backlog,
+    predetermined_ordering_backlog,
+    throughput_ratio,
+)
+
+
+class TestStragglerModel:
+    def test_rates_match_paper_formulas(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10)
+        assert config.partially_committed_per_round == pytest.approx(1 / 10 + 15)
+        assert config.confirmed_per_round_predetermined == pytest.approx(16 / 10)
+
+    def test_predetermined_backlog_grows_linearly(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10, rounds=50)
+        result = predetermined_ordering_backlog(config)
+        assert result.queued_blocks[-1] > result.queued_blocks[0]
+        growth = result.queued_blocks[1] - result.queued_blocks[0]
+        assert result.queued_blocks[-1] == pytest.approx(growth * 50)
+
+    def test_predetermined_delay_grows(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10, rounds=50)
+        result = predetermined_ordering_backlog(config)
+        assert result.final_delay() > result.ordering_delay[0]
+
+    def test_dynamic_backlog_bounded_by_one_period(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10, rounds=200)
+        result = dynamic_ordering_backlog(config)
+        bound = (config.num_instances - 1) * config.straggler_period
+        assert max(result.queued_blocks) <= bound
+        # Bounded, not growing: the last value is no larger than the overall max.
+        assert result.final_backlog() <= bound
+
+    def test_dynamic_strictly_better_than_predetermined_in_the_limit(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10, rounds=500)
+        predetermined = predetermined_ordering_backlog(config)
+        dynamic = dynamic_ordering_backlog(config)
+        assert dynamic.final_backlog() < predetermined.final_backlog()
+        assert dynamic.final_delay() < predetermined.final_delay()
+
+    def test_throughput_ratio_is_one_over_k(self):
+        config = StragglerModelConfig(num_instances=16, straggler_period=10)
+        assert throughput_ratio(config) == pytest.approx(0.1)
+
+    def test_no_straggler_means_no_backlog(self):
+        config = StragglerModelConfig(num_instances=8, straggler_period=1, rounds=10)
+        result = predetermined_ordering_backlog(config)
+        assert all(q == 0 for q in result.queued_blocks)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerModelConfig(num_instances=1)
+        with pytest.raises(ValueError):
+            StragglerModelConfig(straggler_period=0)
+        with pytest.raises(ValueError):
+            StragglerModelConfig(rounds=0)
+
+
+class TestComplexity:
+    def test_pbft_pre_prepare_linear(self):
+        assert pbft_complexity(16).pre_prepare_units == 15
+        assert pbft_complexity(128).pre_prepare_units == 127
+
+    def test_ladon_pbft_pre_prepare_quadratic(self):
+        small = ladon_pbft_complexity(16)
+        large = ladon_pbft_complexity(128)
+        # Units grow ~n * quorum, i.e. super-linearly.
+        assert large.pre_prepare_units / small.pre_prepare_units > 6
+
+    def test_ladon_opt_restores_linear_pre_prepare(self):
+        assert ladon_opt_complexity(128).pre_prepare_units == pbft_complexity(128).pre_prepare_units
+
+    def test_backup_verification_counts(self):
+        assert pbft_complexity(64).backup_verifications_pre_prepare == 1
+        assert ladon_pbft_complexity(64).backup_verifications_pre_prepare == 43
+        assert ladon_opt_complexity(64).backup_verifications_pre_prepare == 1
+
+    def test_rank_messages_add_linear_term_only(self):
+        pbft = pbft_complexity(32)
+        ladon = ladon_pbft_complexity(32)
+        assert ladon.rank_messages == 31
+        assert ladon.prepare_messages == pbft.prepare_messages
+        assert ladon.commit_messages == pbft.commit_messages
+
+    def test_total_messages_same_order(self):
+        # Overall complexity stays O(n^2) for all three protocols.
+        for n in (16, 64, 128):
+            profiles = compare_protocol_complexity(n)
+            baseline = profiles["pbft"].total_messages
+            for profile in profiles.values():
+                assert profile.total_messages < 1.1 * baseline + 2 * n
+
+    def test_compare_returns_all_protocols(self):
+        assert set(compare_protocol_complexity(16).keys()) == {"pbft", "ladon-pbft", "ladon-opt"}

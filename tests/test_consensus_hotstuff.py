@@ -1,0 +1,141 @@
+"""Unit tests for chained HotStuff and Ladon-HotStuff (Algorithm 3)."""
+
+import pytest
+
+from repro.consensus.base import CollectingContext, InstanceConfig
+from repro.consensus.hotstuff import HotStuffInstance
+from repro.consensus.ladon_hotstuff import LadonHotStuffInstance
+from repro.consensus.messages import HotStuffProposal, HotStuffVote
+from repro.workload.transactions import Batch
+
+
+N = 4
+QUORUM = 3
+
+
+def make_instance(cls=HotStuffInstance, replica_id=0, instance_id=0, rank=0, **kwargs):
+    config = InstanceConfig(instance_id=instance_id, replica_id=replica_id, n=N)
+    context = CollectingContext(rank=rank)
+    return cls(config, context, **kwargs), context
+
+
+def drive_chain(leader, leader_ctx, backups, rounds):
+    """Drive ``rounds`` chained proposals end to end (leader + backups)."""
+    all_nodes = [(leader, leader_ctx)] + backups
+    for round in range(1, rounds + 1):
+        proposal = leader.propose(Batch.synthetic(2, 0.0), now=float(round))
+        assert proposal is not None, f"leader not ready at round {round}"
+        for node, _ in all_nodes:
+            node.on_message(proposal.sender, proposal)
+        # Gather votes sent to the leader (and the leader's own local vote).
+        votes = []
+        for node, ctx in all_nodes:
+            votes.extend(m for _, m, _ in ctx.sent if isinstance(m, HotStuffVote) and m.round == round)
+        for vote in votes:
+            leader.on_message(vote.sender, vote)
+
+
+class TestChainedHotStuff:
+    def test_leader_waits_for_qc_before_next_proposal(self):
+        leader, ctx = make_instance()
+        leader.propose(Batch.synthetic(1, 0.0), now=0.0)
+        assert not leader.ready_to_propose()
+
+    def test_three_chain_commit_rule(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_chain(leader, leader_ctx, backups, rounds=3)
+        # After 3 proposals nothing is committed yet (round 1 needs round 4).
+        assert leader_ctx.delivered == []
+        drive_chain(leader, leader_ctx, backups, rounds=0)  # no-op
+        # The 4th proposal commits round 1 at every replica that saw it.
+        proposal4 = leader.propose(Batch.synthetic(2, 0.0), now=10.0)
+        for node, ctx in [(leader, leader_ctx)] + backups:
+            node.on_message(proposal4.sender, proposal4)
+            assert len(ctx.delivered) == 1
+            assert ctx.delivered[0].round == 1
+
+    def test_blocks_commit_in_round_order(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_chain(leader, leader_ctx, backups, rounds=6)
+        rounds = [b.round for b in leader_ctx.delivered]
+        assert rounds == sorted(rounds)
+        assert rounds == [1, 2, 3]
+
+    def test_proposal_from_non_leader_rejected(self):
+        backup, ctx = make_instance(replica_id=1)
+        bogus = HotStuffProposal(sender=2, instance=0, view=0, round=1, digest="d", tx_count=1)
+        backup.on_message(2, bogus)
+        assert not any(isinstance(m, HotStuffVote) for _, m, _ in ctx.sent)
+
+    def test_proposal_without_quorum_justification_rejected(self):
+        backup, ctx = make_instance(replica_id=1)
+        bogus = HotStuffProposal(
+            sender=0, instance=0, view=0, round=2, digest="d", tx_count=1, justify_votes=1
+        )
+        backup.on_message(0, bogus)
+        assert not any(isinstance(m, HotStuffVote) for _, m, _ in ctx.sent)
+
+    def test_vote_quorum_advances_high_qc(self):
+        leader, _ = make_instance()
+        proposal = leader.propose(Batch.synthetic(1, 0.0), now=0.0)
+        leader.on_message(0, proposal)
+        for sender in range(QUORUM):
+            leader.on_message(
+                sender,
+                HotStuffVote(sender=sender, instance=0, view=0, round=1, digest=proposal.digest),
+            )
+        assert leader.high_qc_round == 1
+        assert leader.ready_to_propose()
+
+
+class TestLadonHotStuff:
+    def test_proposal_rank_is_cur_rank_plus_one(self):
+        leader, ctx = make_instance(cls=LadonHotStuffInstance, rank=11)
+        proposal = leader.propose(Batch.synthetic(1, 0.0), now=0.0)
+        assert proposal.rank == 12
+        assert proposal.rank_m == 11
+
+    def test_backup_adopts_leaders_rank_m(self):
+        backup, ctx = make_instance(cls=LadonHotStuffInstance, replica_id=1, rank=0)
+        proposal = HotStuffProposal(
+            sender=0, instance=0, view=0, round=1, digest="d", tx_count=1, rank=8, rank_m=7
+        )
+        backup.on_message(0, proposal)
+        assert ctx.rank == 7
+
+    def test_votes_carry_voters_cur_rank(self):
+        backup, ctx = make_instance(cls=LadonHotStuffInstance, replica_id=1, rank=33)
+        proposal = HotStuffProposal(
+            sender=0, instance=0, view=0, round=1, digest="d", tx_count=1, rank=8, rank_m=7
+        )
+        backup.on_message(0, proposal)
+        votes = [m for _, m, _ in ctx.sent if isinstance(m, HotStuffVote)]
+        assert votes and votes[0].rank_m == 33
+
+    def test_leader_adopts_highest_vote_rank(self):
+        leader, ctx = make_instance(cls=LadonHotStuffInstance, rank=0)
+        proposal = leader.propose(Batch.synthetic(1, 0.0), now=0.0)
+        leader.on_message(0, proposal)
+        leader.on_message(
+            2, HotStuffVote(sender=2, instance=0, view=0, round=1, digest=proposal.digest, rank_m=55)
+        )
+        assert ctx.rank == 55
+
+    def test_rank_clamped_to_epoch_max_stops_proposals(self):
+        leader, ctx = make_instance(cls=LadonHotStuffInstance, rank=62)
+        ctx.epoch_length = 64
+        proposal = leader.propose(Batch.synthetic(1, 0.0), now=0.0)
+        assert proposal.rank == 63
+        assert leader.stopped_for_epoch
+        leader.begin_epoch(1)
+        assert not leader.stopped_for_epoch
+
+    def test_full_chain_commits_blocks_with_monotonic_ranks(self):
+        leader, leader_ctx = make_instance(cls=LadonHotStuffInstance, replica_id=0)
+        backups = [make_instance(cls=LadonHotStuffInstance, replica_id=r) for r in range(1, N)]
+        drive_chain(leader, leader_ctx, backups, rounds=6)
+        ranks = [b.rank for b in leader_ctx.delivered]
+        assert len(ranks) >= 2
+        assert all(later > earlier for earlier, later in zip(ranks, ranks[1:]))

@@ -1,0 +1,250 @@
+"""Unit tests for the PBFT instance state machine (vanilla)."""
+
+import pytest
+
+from repro.consensus.base import CollectingContext, InstanceConfig
+from repro.consensus.messages import Commit, NewView, PrePrepare, Prepare, ViewChange
+from repro.consensus.pbft import PBFTInstance
+from repro.workload.transactions import Batch
+
+
+N = 4
+QUORUM = 3
+
+
+def make_instance(replica_id=0, instance_id=0, propose_timeout=None):
+    config = InstanceConfig(instance_id=instance_id, replica_id=replica_id, n=N)
+    context = CollectingContext()
+    return PBFTInstance(config, context, propose_timeout=propose_timeout), context
+
+
+def drive_round(leader, leader_ctx, backups, round=1, tx_count=5):
+    """Drive one full PBFT round across a leader and backups sharing no network.
+
+    Messages are relayed by hand so the test controls ordering precisely.
+    Returns the pre-prepare message.
+    """
+    batch = Batch.synthetic(tx_count, submitted_at=0.0)
+    pre_prepare = leader.propose(batch, now=1.0)
+    assert pre_prepare is not None
+    all_nodes = [(leader, leader_ctx)] + backups
+    # Deliver the pre-prepare everywhere (including the leader's own copy).
+    for node, _ in all_nodes:
+        node.on_message(pre_prepare.sender, pre_prepare)
+    # Gather prepares and deliver all-to-all.
+    prepares = []
+    for node, ctx in all_nodes:
+        prepares.extend(m for m, _ in ctx.multicasts if isinstance(m, Prepare) and m.round == round)
+    for prepare in prepares:
+        for node, _ in all_nodes:
+            node.on_message(prepare.sender, prepare)
+    commits = []
+    for node, ctx in all_nodes:
+        commits.extend(m for m, _ in ctx.multicasts if isinstance(m, Commit) and m.round == round)
+    for commit in commits:
+        for node, _ in all_nodes:
+            node.on_message(commit.sender, commit)
+    return pre_prepare
+
+
+class TestProposal:
+    def test_only_leader_proposes(self):
+        instance, _ = make_instance(replica_id=1, instance_id=0)
+        assert not instance.ready_to_propose()
+        assert instance.propose(Batch.synthetic(1, 0.0), now=0.0) is None
+
+    def test_leader_of_instance_is_replica_with_same_id(self):
+        instance, _ = make_instance(replica_id=0, instance_id=0)
+        assert instance.is_leader
+
+    def test_leader_rotates_with_view(self):
+        config = InstanceConfig(instance_id=2, replica_id=0, n=4)
+        assert config.leader_for_view(0) == 2
+        assert config.leader_for_view(1) == 3
+        assert config.leader_for_view(2) == 0
+
+    def test_propose_multicasts_pre_prepare(self):
+        instance, context = make_instance()
+        message = instance.propose(Batch.synthetic(10, 0.0), now=2.0)
+        assert isinstance(message, PrePrepare)
+        assert any(isinstance(m, PrePrepare) for m, _ in context.multicasts)
+        assert message.tx_count == 10
+        assert message.proposed_at == 2.0
+
+    def test_one_outstanding_round_at_a_time(self):
+        instance, _ = make_instance()
+        instance.propose(Batch.synthetic(1, 0.0), now=0.0)
+        assert not instance.ready_to_propose()
+        assert instance.propose(Batch.synthetic(1, 0.0), now=1.0) is None
+
+    def test_pre_prepare_size_includes_batch(self):
+        instance, _ = make_instance()
+        small = instance._build_pre_prepare(1, Batch.synthetic(1, 0.0), 0.0)
+        large = instance._build_pre_prepare(2, Batch.synthetic(1000, 0.0), 0.0)
+        assert large.size_bytes > small.size_bytes + 400_000
+
+
+class TestNormalCase:
+    def test_full_round_commits_at_every_replica(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_round(leader, leader_ctx, backups, tx_count=7)
+        for node, ctx in [(leader, leader_ctx)] + backups:
+            assert len(ctx.delivered) == 1
+            block = ctx.delivered[0]
+            assert block.tx_count == 7
+            assert block.round == 1
+            assert block.instance == 0
+
+    def test_committed_blocks_identical_across_replicas(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_round(leader, leader_ctx, backups)
+        digests = {ctx.delivered[0].payload_digest for _, ctx in [(leader, leader_ctx)] + backups}
+        assert len(digests) == 1
+
+    def test_leader_can_propose_next_round_after_commit(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_round(leader, leader_ctx, backups, round=1)
+        assert leader.ready_to_propose()
+        second = leader.propose(Batch.synthetic(1, 0.0), now=5.0)
+        assert second.round == 2
+
+    def test_commit_requires_quorum_of_commits(self):
+        instance, context = make_instance(replica_id=1)
+        pre_prepare = PrePrepare(
+            sender=0, instance=0, view=0, round=1, digest="d", tx_count=1, rank=1
+        )
+        instance.on_message(0, pre_prepare)
+        for sender in range(QUORUM):
+            instance.on_message(sender, Prepare(sender=sender, instance=0, view=0, round=1, digest="d", rank=1))
+        # Only 2 commits: not enough.
+        for sender in range(2):
+            instance.on_message(sender, Commit(sender=sender, instance=0, view=0, round=1, digest="d", rank=1))
+        assert context.delivered == []
+        instance.on_message(2, Commit(sender=2, instance=0, view=0, round=1, digest="d", rank=1))
+        assert len(context.delivered) == 1
+
+    def test_quorum_before_pre_prepare_still_commits_once_pre_prepare_arrives(self):
+        instance, context = make_instance(replica_id=1)
+        for sender in range(QUORUM):
+            instance.on_message(sender, Prepare(sender=sender, instance=0, view=0, round=1, digest="d", rank=1))
+            instance.on_message(sender, Commit(sender=sender, instance=0, view=0, round=1, digest="d", rank=1))
+        assert context.delivered == []
+        instance.on_message(
+            0, PrePrepare(sender=0, instance=0, view=0, round=1, digest="d", tx_count=1, rank=1)
+        )
+        assert len(context.delivered) == 1
+
+    def test_duplicate_commits_do_not_double_deliver(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_round(leader, leader_ctx, backups)
+        # Replay a commit message.
+        commit = next(m for m, _ in leader_ctx.multicasts if isinstance(m, Commit))
+        leader.on_message(commit.sender, commit)
+        assert len(leader_ctx.delivered) == 1
+
+
+class TestValidation:
+    def test_pre_prepare_from_non_leader_rejected(self):
+        instance, context = make_instance(replica_id=1)
+        bogus = PrePrepare(sender=2, instance=0, view=0, round=1, digest="d", tx_count=1, rank=1)
+        instance.on_message(2, bogus)
+        assert not any(isinstance(m, Prepare) for m, _ in context.multicasts)
+
+    def test_pre_prepare_from_wrong_view_rejected(self):
+        instance, context = make_instance(replica_id=1)
+        bogus = PrePrepare(sender=0, instance=0, view=3, round=1, digest="d", tx_count=1, rank=1)
+        instance.on_message(0, bogus)
+        assert not any(isinstance(m, Prepare) for m, _ in context.multicasts)
+
+    def test_conflicting_pre_prepare_for_same_round_rejected(self):
+        instance, context = make_instance(replica_id=1)
+        instance.on_message(
+            0, PrePrepare(sender=0, instance=0, view=0, round=1, digest="d1", tx_count=1, rank=1)
+        )
+        instance.on_message(
+            0, PrePrepare(sender=0, instance=0, view=0, round=1, digest="d2", tx_count=1, rank=1)
+        )
+        prepares = [m for m, _ in context.multicasts if isinstance(m, Prepare)]
+        assert len(prepares) == 1
+        assert prepares[0].digest == "d1"
+
+    def test_prepare_from_wrong_view_ignored(self):
+        instance, _ = make_instance(replica_id=1)
+        instance.on_message(0, Prepare(sender=0, instance=0, view=9, round=1, digest="d", rank=1))
+        assert instance.prepare_votes.count((9, 1, "d")) == 0
+
+
+class TestViewChange:
+    def test_round_timeout_triggers_view_change(self):
+        # Replica 2 is not the next leader (replica 1 is), so the view-change
+        # message must actually be sent to replica 1.
+        instance, context = make_instance(replica_id=2)
+        instance.on_message(
+            0, PrePrepare(sender=0, instance=0, view=0, round=1, digest="d", tx_count=1, rank=1)
+        )
+        timer_name = instance._round_timer_name(1)
+        assert timer_name in context.timers
+        context.fire_timer(timer_name)
+        assert instance.view_change_in_progress
+        view_changes = [
+            (dest, m) for dest, m, _ in context.sent if isinstance(m, ViewChange)
+        ]
+        assert view_changes and view_changes[0][0] == instance.config.leader_for_view(1)
+
+    def test_new_leader_installs_view_after_quorum(self):
+        # Instance 0, view 1 leader is replica 1.
+        new_leader, context = make_instance(replica_id=1)
+        for sender in range(QUORUM):
+            new_leader.on_message(
+                sender,
+                ViewChange(sender=sender, instance=0, view=1, round=0, last_committed_round=0),
+            )
+        new_views = [m for m, _ in context.multicasts if isinstance(m, NewView)]
+        assert len(new_views) == 1
+        assert new_views[0].view == 1
+
+    def test_backup_adopts_new_view(self):
+        instance, _ = make_instance(replica_id=2)
+        instance.on_message(1, NewView(sender=1, instance=0, view=1, round=1, resume_round=1))
+        assert instance.view == 1
+        assert not instance.view_change_in_progress
+
+    def test_new_view_from_wrong_leader_ignored(self):
+        instance, _ = make_instance(replica_id=2)
+        instance.on_message(3, NewView(sender=3, instance=0, view=1, round=1, resume_round=1))
+        assert instance.view == 0
+
+    def test_propose_timeout_only_when_configured(self):
+        instance, context = make_instance(replica_id=1, propose_timeout=None)
+        instance.start()
+        assert f"pbft-propose:{instance.instance_id}" not in context.timers
+        instance_with, context_with = make_instance(replica_id=1, propose_timeout=5.0)
+        instance_with.start()
+        assert f"pbft-propose:{instance_with.instance_id}" in context_with.timers
+
+    def test_view_installed_hook_called(self):
+        instance, _ = make_instance(replica_id=2)
+        calls = []
+        instance.on_view_installed = calls.append
+        instance.on_message(1, NewView(sender=1, instance=0, view=1, round=1, resume_round=1))
+        assert calls == [1]
+
+    def test_new_leader_becomes_proposer_after_view_change(self):
+        instance, _ = make_instance(replica_id=1)
+        assert not instance.is_leader
+        instance.on_message(1, NewView(sender=1, instance=0, view=1, round=1, resume_round=1))
+        assert instance.is_leader
+        assert instance.ready_to_propose()
+
+
+class TestCryptoAccounting:
+    def test_sign_and_verify_ops_recorded(self):
+        leader, leader_ctx = make_instance(replica_id=0)
+        backups = [make_instance(replica_id=r) for r in range(1, N)]
+        drive_round(leader, leader_ctx, backups)
+        assert leader_ctx.crypto_ops.get("sign", 0) >= 2
+        assert leader_ctx.crypto_ops.get("verify", 0) >= 2 * QUORUM - 1

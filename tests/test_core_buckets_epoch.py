@@ -1,0 +1,169 @@
+"""Tests for rotating buckets, the epoch pacemaker and checkpoints."""
+
+import pytest
+
+from repro.consensus.checkpoint import CheckpointManager
+from repro.core.buckets import RotatingBuckets
+from repro.core.epoch import EpochConfig, EpochPacemaker
+from repro.workload.transactions import TransactionFactory
+
+
+class TestRotatingBuckets:
+    def test_requires_enough_buckets(self):
+        with pytest.raises(ValueError):
+            RotatingBuckets(num_buckets=2, num_instances=4)
+
+    def test_transaction_maps_to_stable_bucket(self):
+        buckets = RotatingBuckets(num_buckets=8, num_instances=4)
+        assert buckets.bucket_of(1234) == buckets.bucket_of(1234)
+
+    def test_every_bucket_assigned_each_epoch(self):
+        buckets = RotatingBuckets(num_buckets=8, num_instances=4)
+        assignment = buckets.assignment_for_epoch(0)
+        assigned = [b for ids in assignment.values() for b in ids]
+        assert sorted(assigned) == list(range(8))
+
+    def test_assignment_rotates_between_epochs(self):
+        buckets = RotatingBuckets(num_buckets=8, num_instances=4)
+        epoch0 = buckets.assignment_for_epoch(0)
+        epoch1 = buckets.assignment_for_epoch(1)
+        assert epoch0 != epoch1
+
+    def test_rotation_covers_all_instances(self):
+        # Censorship resistance: every bucket visits every instance over m epochs.
+        buckets = RotatingBuckets(num_buckets=4, num_instances=4)
+        visited = {bucket: set() for bucket in range(4)}
+        for epoch in range(4):
+            for instance, ids in buckets.assignment_for_epoch(epoch).items():
+                for bucket in ids:
+                    visited[bucket].add(instance)
+        assert all(len(instances) == 4 for instances in visited.values())
+
+    def test_add_and_cut(self):
+        buckets = RotatingBuckets(num_buckets=4, num_instances=2)
+        factory = TransactionFactory()
+        txs = [factory.create(client_id=0, submitted_at=0.0) for _ in range(20)]
+        for tx in txs:
+            buckets.add_transaction(tx, tx_id=tx.tx_id)
+        total_cut = 0
+        for instance in range(2):
+            batch = buckets.cut_batch(instance, epoch=0, max_txs=50)
+            total_cut += len(batch)
+        assert total_cut == 20
+        assert buckets.pending_count() == 0
+
+    def test_cut_respects_max(self):
+        buckets = RotatingBuckets(num_buckets=2, num_instances=1)
+        factory = TransactionFactory()
+        for _ in range(10):
+            tx = factory.create(client_id=0, submitted_at=0.0)
+            buckets.add_transaction(tx, tx_id=tx.tx_id)
+        batch = buckets.cut_batch(0, epoch=0, max_txs=3)
+        assert len(batch) == 3
+        assert buckets.pending_count() == 7
+
+    def test_no_transaction_in_two_instances(self):
+        buckets = RotatingBuckets(num_buckets=6, num_instances=3)
+        factory = TransactionFactory()
+        for _ in range(60):
+            tx = factory.create(client_id=1, submitted_at=0.0)
+            buckets.add_transaction(tx, tx_id=tx.tx_id)
+        seen = set()
+        for instance in range(3):
+            for tx in buckets.cut_batch(instance, epoch=0, max_txs=100):
+                assert tx.tx_id not in seen
+                seen.add(tx.tx_id)
+
+
+class TestEpochConfig:
+    def test_rank_ranges_follow_paper(self):
+        config = EpochConfig(length=64, num_instances=4)
+        assert config.min_rank(0) == 0
+        assert config.max_rank(0) == 63
+        assert config.min_rank(1) == 64
+        assert config.max_rank(2) == 191
+
+    def test_epoch_of_rank(self):
+        config = EpochConfig(length=10, num_instances=2)
+        assert config.epoch_of_rank(0) == 0
+        assert config.epoch_of_rank(9) == 0
+        assert config.epoch_of_rank(10) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EpochConfig(length=0, num_instances=1)
+        with pytest.raises(ValueError):
+            EpochConfig(length=4, num_instances=0)
+
+
+class TestEpochPacemaker:
+    def _pacemaker(self, m=2, length=4, quorum=3):
+        return EpochPacemaker(EpochConfig(length=length, num_instances=m), quorum=quorum)
+
+    def test_epoch_not_complete_until_all_instances_reach_max_rank(self):
+        pacemaker = self._pacemaker()
+        pacemaker.observe_commit(instance=0, rank=3, now=1.0)
+        assert not pacemaker.epoch_complete()
+        pacemaker.observe_commit(instance=1, rank=3, now=2.0)
+        assert pacemaker.epoch_complete()
+
+    def test_lower_ranks_do_not_complete_epoch(self):
+        pacemaker = self._pacemaker()
+        pacemaker.observe_commit(instance=0, rank=2, now=1.0)
+        pacemaker.observe_commit(instance=1, rank=2, now=1.0)
+        assert not pacemaker.epoch_complete()
+
+    def test_advance_requires_completion_and_checkpoint(self):
+        pacemaker = self._pacemaker()
+        pacemaker.observe_commit(instance=0, rank=3, now=1.0)
+        pacemaker.observe_commit(instance=1, rank=3, now=1.0)
+        assert not pacemaker.try_advance(now=2.0)  # no stable checkpoint yet
+        for replica in range(3):
+            pacemaker.observe_checkpoint(0, replica)
+        assert pacemaker.try_advance(now=3.0)
+        assert pacemaker.current_epoch == 1
+        assert pacemaker.min_rank() == 4
+
+    def test_checkpoint_becomes_stable_exactly_once(self):
+        pacemaker = self._pacemaker()
+        assert not pacemaker.observe_checkpoint(0, 0)
+        assert not pacemaker.observe_checkpoint(0, 1)
+        assert pacemaker.observe_checkpoint(0, 2)
+        assert not pacemaker.observe_checkpoint(0, 3)
+
+    def test_advancement_log(self):
+        pacemaker = self._pacemaker()
+        pacemaker.observe_commit(0, 3, 1.0)
+        pacemaker.observe_commit(1, 3, 1.0)
+        for replica in range(3):
+            pacemaker.observe_checkpoint(0, replica)
+        pacemaker.try_advance(now=5.0)
+        assert pacemaker.advancement_log == [(5.0, 1)]
+
+
+class TestCheckpointManager:
+    def test_stable_after_quorum(self):
+        manager = CheckpointManager(replica_id=0, quorum=3)
+        msg = manager.build_checkpoint(epoch=0, confirmed_count=10)
+        assert manager.on_checkpoint(msg) is False
+        from repro.consensus.messages import CheckpointMessage
+
+        for sender in (1, 2):
+            vote = CheckpointMessage(
+                sender=sender, instance=-1, view=0, round=0, epoch=0, state_digest=msg.state_digest
+            )
+            became_stable = manager.on_checkpoint(vote)
+        assert became_stable is True
+        assert manager.is_stable(0)
+        assert manager.votes(0) == 3
+
+    def test_different_epochs_tracked_separately(self):
+        manager = CheckpointManager(replica_id=0, quorum=2)
+        manager.build_checkpoint(epoch=0, confirmed_count=5)
+        manager.build_checkpoint(epoch=1, confirmed_count=9)
+        from repro.consensus.messages import CheckpointMessage
+
+        manager.on_checkpoint(CheckpointMessage(sender=0, instance=-1, view=0, round=0, epoch=0))
+        manager.on_checkpoint(CheckpointMessage(sender=1, instance=-1, view=0, round=0, epoch=1))
+        assert not manager.is_stable(0)
+        assert not manager.is_stable(1)

@@ -1,0 +1,76 @@
+"""Tests for the inter-block causal strength metric (Sec. 6.4)."""
+
+import math
+
+from repro.core.block import Block
+from repro.core.causality import causal_strength, count_causality_violations
+from repro.core.ordering import ConfirmedBlock
+
+
+def confirmed(sn, instance, round, rank, proposed_at, committed_at):
+    block = Block(
+        instance=instance,
+        round=round,
+        rank=rank,
+        proposed_at=proposed_at,
+        committed_at=committed_at,
+        tx_count_hint=1,
+    )
+    return ConfirmedBlock(block=block, sn=sn, confirmed_at=committed_at + 0.1)
+
+
+class TestCausalityViolations:
+    def test_empty_log_has_strength_one(self):
+        assert causal_strength([]) == 1.0
+
+    def test_no_violation_when_order_follows_generation(self):
+        log = [
+            confirmed(0, 0, 1, 1, proposed_at=0.0, committed_at=1.0),
+            confirmed(1, 1, 1, 2, proposed_at=0.5, committed_at=1.5),
+            confirmed(2, 0, 2, 3, proposed_at=2.0, committed_at=3.0),
+        ]
+        assert count_causality_violations(log) == 0
+        assert causal_strength(log) == 1.0
+
+    def test_front_running_block_counts_as_violation(self):
+        # Block at sn=0 was proposed after the sn=1 block had committed:
+        # exactly the front-running situation of Sec. 4.3.
+        log = [
+            confirmed(0, 1, 1, 1, proposed_at=5.0, committed_at=6.0),
+            confirmed(1, 0, 1, 2, proposed_at=0.0, committed_at=1.0),
+        ]
+        assert count_causality_violations(log) == 1
+        assert causal_strength(log) == math.exp(-1 / 2)
+
+    def test_multiple_violations_accumulate(self):
+        # One late-generated block ordered before three already-committed ones.
+        log = [
+            confirmed(0, 1, 1, 1, proposed_at=10.0, committed_at=11.0),
+            confirmed(1, 0, 1, 2, proposed_at=0.0, committed_at=1.0),
+            confirmed(2, 0, 2, 3, proposed_at=1.0, committed_at=2.0),
+            confirmed(3, 0, 3, 4, proposed_at=2.0, committed_at=3.0),
+        ]
+        assert count_causality_violations(log) == 3
+        assert causal_strength(log) == math.exp(-3 / 4)
+
+    def test_uncommitted_blocks_ignored(self):
+        block = Block(instance=0, round=1, rank=1, proposed_at=0.0, committed_at=None)
+        log = [
+            ConfirmedBlock(block=block, sn=0, confirmed_at=1.0),
+            confirmed(1, 1, 1, 2, proposed_at=0.0, committed_at=1.0),
+        ]
+        # The first block has no commit time, so it cannot witness violations.
+        assert count_causality_violations(log) == 0
+
+    def test_strength_decreases_with_violations(self):
+        base = [confirmed(i, 0, i + 1, i + 1, proposed_at=float(i), committed_at=float(i) + 0.5) for i in range(5)]
+        worse = list(base)
+        worse[0] = confirmed(0, 1, 1, 1, proposed_at=100.0, committed_at=101.0)
+        assert causal_strength(worse) < causal_strength(base)
+
+    def test_strength_in_unit_interval(self):
+        log = [
+            confirmed(0, 1, 1, 1, proposed_at=50.0, committed_at=51.0),
+            confirmed(1, 0, 1, 2, proposed_at=0.0, committed_at=1.0),
+        ]
+        assert 0.0 < causal_strength(log) <= 1.0

@@ -1,0 +1,246 @@
+"""Tests for the global ordering layer: dynamic (Ladon), pre-determined
+(ISS/Mir/RCC) and DQBFT orderers."""
+
+import pytest
+
+from repro.core.block import Block, BlockId
+from repro.core.dqbft_ordering import DQBFTOrderer
+from repro.core.ordering import ConfirmationBar, DynamicOrderer
+from repro.core.predetermined import PredeterminedOrderer
+
+
+def block(instance, round, rank, proposed_at=0.0, committed_at=None):
+    return Block(
+        instance=instance,
+        round=round,
+        rank=rank,
+        proposed_at=proposed_at,
+        committed_at=committed_at,
+        tx_count_hint=10,
+    )
+
+
+class TestConfirmationBar:
+    def test_admits_lower_rank(self):
+        bar = ConfirmationBar(rank=3, instance=1)
+        assert bar.admits(block(0, 1, 2))
+
+    def test_admits_equal_rank_lower_instance(self):
+        bar = ConfirmationBar(rank=3, instance=1)
+        assert bar.admits(block(0, 1, 3))
+
+    def test_rejects_equal_rank_same_instance(self):
+        bar = ConfirmationBar(rank=3, instance=1)
+        assert not bar.admits(block(1, 1, 3))
+
+    def test_rejects_higher_rank(self):
+        bar = ConfirmationBar(rank=3, instance=1)
+        assert not bar.admits(block(0, 1, 4))
+
+
+class TestDynamicOrdererPaperExample:
+    def test_figure_3_example(self):
+        """Reproduce the worked example of Fig. 3 / Sec. 4.2.
+
+        Instances 0,1,2; when B^2_2 is partially committed the replica can
+        confirm B^1_2 and B^0_3 but not B^2_2 itself.
+        """
+        orderer = DynamicOrderer(num_instances=3)
+        # Ranks chosen to match the figure: G_out = {B01, B02, B11, B21}
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(1, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(2, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(0, 2, 1), now=2.0)
+        orderer.add_partially_committed(block(0, 3, 3), now=3.0)
+        orderer.add_partially_committed(block(1, 2, 2), now=3.0)
+        already = {c.block.block_id for c in orderer.confirmed}
+        assert BlockId(0, 1) in already and BlockId(1, 1) in already
+        # Now B^2_2 with rank 4 arrives: bar becomes (3, 1) and B^1_2 (rank 2)
+        # and B^0_3 (rank 3, instance 0 < 1) are confirmed; B^2_2 is not.
+        newly = orderer.add_partially_committed(block(2, 2, 4), now=4.0)
+        newly_ids = [c.block.block_id for c in newly]
+        assert BlockId(1, 2) in newly_ids
+        assert BlockId(0, 3) in newly_ids
+        assert BlockId(2, 2) not in newly_ids
+        assert orderer.pending_count == 1
+
+
+class TestDynamicOrderer:
+    def test_nothing_confirmed_until_every_instance_contributes(self):
+        orderer = DynamicOrderer(num_instances=3)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        newly = orderer.add_partially_committed(block(1, 1, 1), now=1.0)
+        assert newly == []
+        assert orderer.confirmed == ()
+
+    def test_confirmation_order_follows_rank_then_instance(self):
+        orderer = DynamicOrderer(num_instances=2)
+        orderer.add_partially_committed(block(1, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(0, 2, 1), now=2.0)
+        orderer.add_partially_committed(block(1, 2, 2), now=2.0)
+        ranks = [(c.block.rank, c.block.instance) for c in orderer.confirmed]
+        assert ranks == sorted(ranks)
+
+    def test_global_indices_are_consecutive(self):
+        orderer = DynamicOrderer(num_instances=2)
+        for round in range(1, 5):
+            orderer.add_partially_committed(block(0, round, round), now=round)
+            orderer.add_partially_committed(block(1, round, round), now=round)
+        sns = [c.sn for c in orderer.confirmed]
+        assert sns == list(range(len(sns)))
+
+    def test_duplicate_delivery_ignored(self):
+        orderer = DynamicOrderer(num_instances=1)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        again = orderer.add_partially_committed(block(0, 1, 0), now=2.0)
+        assert again == []
+
+    def test_out_of_order_rounds_wait_for_prefix(self):
+        # A block only becomes partially *confirmed* when all earlier rounds
+        # of its instance are partially committed; the bar must not advance
+        # past a gap.
+        orderer = DynamicOrderer(num_instances=2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(1, 2, 5), now=1.0)  # round 1 missing
+        orderer.add_partially_committed(block(0, 2, 6), now=2.0)
+        assert orderer.confirmed == ()
+        # Fill the gap: now instance 1's prefix reaches round 2 (rank 5).
+        orderer.add_partially_committed(block(1, 1, 1), now=3.0)
+        confirmed_ranks = [c.block.rank for c in orderer.confirmed]
+        assert 0 in confirmed_ranks and 1 in confirmed_ranks and 5 in confirmed_ranks
+
+    def test_straggler_release_on_next_block(self):
+        """Blocks pile up while one instance is silent and flush when it speaks."""
+        orderer = DynamicOrderer(num_instances=3)
+        # Round 1 from everyone.
+        for inst in range(3):
+            orderer.add_partially_committed(block(inst, 1, inst), now=1.0)
+        # Instance 2 goes quiet; instances 0 and 1 keep producing.
+        rank = 3
+        for round in range(2, 7):
+            for inst in (0, 1):
+                orderer.add_partially_committed(block(inst, round, rank), now=float(round))
+                rank += 1
+        pending_before = orderer.pending_count
+        assert pending_before >= 8
+        # The straggler's next block carries a fresh (high) rank and releases
+        # everything below the new bar; only the very last blocks of the fast
+        # instances (and the straggler's own new block) can remain pending.
+        newly = orderer.add_partially_committed(block(2, 2, rank + 1), now=10.0)
+        assert len(newly) >= pending_before - 2
+        assert orderer.pending_count <= 2
+
+    def test_rejects_unknown_instance(self):
+        orderer = DynamicOrderer(num_instances=2)
+        with pytest.raises(ValueError):
+            orderer.add_partially_committed(block(5, 1, 0), now=0.0)
+
+    def test_rejects_zero_instances(self):
+        with pytest.raises(ValueError):
+            DynamicOrderer(num_instances=0)
+
+    def test_current_bar_none_before_full_coverage(self):
+        orderer = DynamicOrderer(num_instances=2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        assert orderer.current_bar() is None
+
+    def test_unconfirmed_blocks_sorted(self):
+        orderer = DynamicOrderer(num_instances=3)
+        orderer.add_partially_committed(block(0, 1, 5), now=1.0)
+        orderer.add_partially_committed(block(1, 1, 2), now=1.0)
+        pending = orderer.unconfirmed_blocks()
+        assert [b.rank for b in pending] == [2, 5]
+
+
+class TestPredeterminedOrderer:
+    def test_global_index_layout(self):
+        orderer = PredeterminedOrderer(num_instances=3)
+        assert orderer.global_index(block(0, 1, 0)) == 0
+        assert orderer.global_index(block(2, 1, 0)) == 2
+        assert orderer.global_index(block(1, 2, 0)) == 4
+
+    def test_confirms_in_index_order(self):
+        orderer = PredeterminedOrderer(num_instances=2)
+        orderer.add_partially_committed(block(1, 1, 0), now=1.0)
+        assert orderer.confirmed == ()  # waiting for index 0
+        newly = orderer.add_partially_committed(block(0, 1, 0), now=2.0)
+        assert [c.sn for c in newly] == [0, 1]
+
+    def test_hole_blocks_everything_after_it(self):
+        orderer = PredeterminedOrderer(num_instances=3)
+        # Instance 1 (the straggler) never delivers round 1.
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(2, 1, 0), now=1.0)
+        for round in range(2, 5):
+            orderer.add_partially_committed(block(0, round, 0), now=float(round))
+            orderer.add_partially_committed(block(2, round, 0), now=float(round))
+        assert len(orderer.confirmed) == 1  # only index 0
+        assert orderer.next_missing_index() == 1
+        # The straggler's block arrives: exactly the contiguous prefix flushes
+        # (indices 1 and 2 from round 1, then index 3 = instance 0's round 2;
+        # index 4 is the straggler's still-missing round 2).
+        newly = orderer.add_partially_committed(block(1, 1, 0), now=9.0)
+        assert [c.sn for c in newly] == [1, 2, 3]
+        assert orderer.next_missing_index() == 4
+
+    def test_duplicate_ignored(self):
+        orderer = PredeterminedOrderer(num_instances=1)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        assert orderer.add_partially_committed(block(0, 1, 0), now=2.0) == []
+
+    def test_round_zero_rejected(self):
+        orderer = PredeterminedOrderer(num_instances=1)
+        with pytest.raises(ValueError):
+            orderer.global_index(Block(instance=0, round=0, rank=0))
+
+    def test_pending_count(self):
+        orderer = PredeterminedOrderer(num_instances=2)
+        orderer.add_partially_committed(block(1, 1, 0), now=1.0)
+        assert orderer.pending_count == 1
+
+
+class TestDQBFTOrderer:
+    def test_blocks_wait_for_decisions(self):
+        orderer = DQBFTOrderer(num_instances=2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        assert orderer.confirmed == ()
+        newly = orderer.add_sequencing_decision(BlockId(0, 1), now=2.0)
+        assert len(newly) == 1
+        assert newly[0].sn == 0
+
+    def test_decision_before_block(self):
+        orderer = DQBFTOrderer(num_instances=2)
+        orderer.add_sequencing_decision(BlockId(1, 1), now=1.0)
+        newly = orderer.add_partially_committed(block(1, 1, 0), now=2.0)
+        assert len(newly) == 1
+
+    def test_order_follows_decisions_not_ranks(self):
+        orderer = DQBFTOrderer(num_instances=2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(1, 1, 99), now=1.0)
+        orderer.add_sequencing_decision(BlockId(1, 1), now=2.0)
+        orderer.add_sequencing_decision(BlockId(0, 1), now=3.0)
+        order = [c.block.block_id for c in orderer.confirmed]
+        assert order == [BlockId(1, 1), BlockId(0, 1)]
+
+    def test_missing_block_blocks_later_decisions(self):
+        orderer = DQBFTOrderer(num_instances=2)
+        orderer.add_sequencing_decision(BlockId(0, 1), now=1.0)
+        orderer.add_sequencing_decision(BlockId(1, 1), now=1.0)
+        orderer.add_partially_committed(block(1, 1, 0), now=2.0)
+        # Decision order says (0,1) first; its block is missing so nothing flows.
+        assert orderer.confirmed == ()
+        newly = orderer.add_partially_committed(block(0, 1, 0), now=3.0)
+        assert len(newly) == 2
+
+    def test_duplicate_decision_ignored(self):
+        orderer = DQBFTOrderer(num_instances=1)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_sequencing_decision(BlockId(0, 1), now=2.0)
+        assert orderer.add_sequencing_decision(BlockId(0, 1), now=3.0) == []
+
+    def test_undecided_blocks(self):
+        orderer = DQBFTOrderer(num_instances=2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        assert [b.block_id for b in orderer.undecided_blocks()] == [BlockId(0, 1)]

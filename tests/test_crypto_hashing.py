@@ -1,0 +1,60 @@
+"""Tests for repro.crypto.hashing."""
+
+import pytest
+
+from repro.crypto.hashing import digest, digest_hex, merkle_root
+
+
+class TestDigest:
+    def test_digest_is_32_bytes(self):
+        assert len(digest("hello")) == 32
+
+    def test_digest_deterministic(self):
+        assert digest("a", 1, None) == digest("a", 1, None)
+
+    def test_digest_differs_for_different_inputs(self):
+        assert digest("a") != digest("b")
+
+    def test_digest_distinguishes_types(self):
+        # "1" (string) and 1 (int) must not collide.
+        assert digest("1") != digest(1)
+
+    def test_digest_distinguishes_structure(self):
+        # ("ab",) vs ("a", "b") must not collide thanks to length prefixes.
+        assert digest(("ab",)) != digest(("a", "b"))
+
+    def test_digest_handles_nested_sequences(self):
+        assert len(digest((1, ("a", b"x"), [2, 3]))) == 32
+
+    def test_digest_handles_bool(self):
+        assert digest(True) != digest(False)
+        assert digest(True) != digest(1)
+
+    def test_digest_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            digest(object())
+
+    def test_digest_hex_matches_digest(self):
+        assert digest_hex("x") == digest("x").hex()
+
+
+class TestMerkleRoot:
+    def test_empty_root_is_stable(self):
+        assert merkle_root([]) == merkle_root([])
+
+    def test_single_leaf(self):
+        assert len(merkle_root([b"tx1"])) == 32
+
+    def test_root_changes_with_leaf_content(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    def test_root_changes_with_leaf_order(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_odd_number_of_leaves(self):
+        root = merkle_root([b"a", b"b", b"c"])
+        assert len(root) == 32
+
+    def test_large_batch(self):
+        leaves = [f"tx{i}".encode() for i in range(257)]
+        assert len(merkle_root(leaves)) == 32

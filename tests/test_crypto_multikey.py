@@ -1,0 +1,92 @@
+"""Tests for the K-private-key rank encoding (Ladon-opt, Sec. 5.3)."""
+
+import pytest
+
+from repro.crypto.multikey import MultiKeyStore
+
+
+@pytest.fixture
+def store():
+    return MultiKeyStore(n=4, key_count=8)
+
+
+class TestMultiKeyStore:
+    def test_key_count(self, store):
+        assert store.key_count == 8
+        assert store.multikey(0).key_count == 8
+
+    def test_rejects_zero_keys(self):
+        with pytest.raises(ValueError):
+            MultiKeyStore(n=4, key_count=0)
+
+    def test_sign_and_verify_rank(self, store):
+        encoded = store.sign_rank(1, 10, 13, "rank", 0, 5)
+        assert encoded.key_index == 3
+        assert not encoded.clamped
+        assert store.verify_rank(encoded, *("rank", 0, 5))
+
+    def test_decoded_rank_round_trips(self, store):
+        encoded = store.sign_rank(2, 20, 25, "m")
+        assert encoded.decoded_rank(20) == 25
+
+    def test_difference_clamped_to_last_key(self, store):
+        encoded = store.sign_rank(0, 0, 100, "m")
+        assert encoded.key_index == 7
+        assert encoded.clamped
+
+    def test_reported_below_base_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.sign_rank(0, 10, 9, "m")
+
+    def test_verify_fails_for_wrong_payload(self, store):
+        encoded = store.sign_rank(1, 0, 2, "m", 1)
+        assert not store.verify_rank(encoded, *("m", 2))
+
+    def test_verify_fails_for_wrong_key_index(self, store):
+        # Signing with key k must not verify under key k' != k: the rank
+        # difference cannot be forged by relabelling.
+        encoded = store.sign_rank(1, 0, 2, "m")
+        tampered = type(encoded)(
+            signer=encoded.signer,
+            key_index=encoded.key_index + 1,
+            clamped=False,
+            signature=encoded.signature,
+        )
+        assert not store.verify_rank(tampered, *("m",))
+
+
+class TestRankAggregate:
+    def test_aggregate_same_message_different_ranks(self, store):
+        payload = ("rank", 0, 7)
+        encoded = [
+            store.sign_rank(r, 7, 7 + r, *payload) for r in range(4)
+        ]
+        agg = store.aggregate_rank_signatures(encoded)
+        assert set(agg.signers) == {0, 1, 2, 3}
+        assert agg.max_key_index() == 3
+        assert store.verify_rank_aggregate(agg, {r: payload for r in range(4)})
+
+    def test_decoded_ranks(self, store):
+        payload = ("rank",)
+        encoded = [
+            store.sign_rank(r, 5, 5 + 2 * r, *payload) for r in range(3)
+        ]
+        agg = store.aggregate_rank_signatures(encoded)
+        assert agg.decoded_ranks(5) == {0: 5, 1: 7, 2: 9}
+
+    def test_aggregate_rejects_empty(self, store):
+        with pytest.raises(ValueError):
+            store.aggregate_rank_signatures([])
+
+    def test_verify_rejects_signer_set_mismatch(self, store):
+        payload = ("rank",)
+        encoded = [store.sign_rank(r, 0, r, *payload) for r in range(3)]
+        agg = store.aggregate_rank_signatures(encoded)
+        assert not store.verify_rank_aggregate(agg, {0: payload, 1: payload})
+
+    def test_aggregate_size_small(self, store):
+        payload = ("rank",)
+        encoded = [store.sign_rank(r, 0, r, *payload) for r in range(4)]
+        agg = store.aggregate_rank_signatures(encoded)
+        # One point plus a key-index byte per signer: far below 4 full reports.
+        assert agg.size_bytes <= 96 + 4

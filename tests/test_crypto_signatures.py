@@ -1,0 +1,147 @@
+"""Tests for keys, signatures and aggregate signatures."""
+
+import pytest
+
+from repro.crypto.aggregate import (
+    aggregate,
+    fault_threshold,
+    make_quorum_certificate,
+    quorum_threshold,
+    verify_aggregate,
+)
+from repro.crypto.keys import KeyStore, generate_keypair
+from repro.crypto.signatures import Signature, sign, verify
+
+
+@pytest.fixture
+def keystore():
+    return KeyStore.for_replicas(4)
+
+
+class TestKeys:
+    def test_keystore_has_all_replicas(self, keystore):
+        assert len(keystore) == 4
+        assert all(owner in keystore for owner in range(4))
+
+    def test_keypair_is_deterministic(self):
+        assert generate_keypair(3).public == generate_keypair(3).public
+
+    def test_different_owners_have_different_keys(self):
+        assert generate_keypair(0).public != generate_keypair(1).public
+
+    def test_custom_seed_changes_key(self):
+        assert generate_keypair(0, seed=b"other").public != generate_keypair(0).public
+
+    def test_duplicate_registration_rejected(self, keystore):
+        with pytest.raises(ValueError):
+            keystore.register(generate_keypair(0))
+
+    def test_public_key_owner(self, keystore):
+        assert keystore.public_key(2).owner == 2
+
+
+class TestSignatures:
+    def test_sign_and_verify(self, keystore):
+        sig = sign(keystore.private_key(1), "hello", 42)
+        assert verify(keystore, sig, "hello", 42)
+
+    def test_verify_rejects_wrong_payload(self, keystore):
+        sig = sign(keystore.private_key(1), "hello", 42)
+        assert not verify(keystore, sig, "hello", 43)
+
+    def test_verify_rejects_unknown_signer(self, keystore):
+        sig = sign(keystore.private_key(1), "hello")
+        forged = Signature(signer=99, payload_digest=sig.payload_digest, mac=sig.mac)
+        assert not verify(keystore, forged, "hello")
+
+    def test_verify_rejects_wrong_mac(self, keystore):
+        sig = sign(keystore.private_key(1), "hello")
+        forged = Signature(signer=1, payload_digest=sig.payload_digest, mac=b"\x00" * 32)
+        assert not verify(keystore, forged, "hello")
+
+    def test_signature_cannot_be_transplanted_to_other_signer(self, keystore):
+        sig = sign(keystore.private_key(1), "hello")
+        forged = Signature(signer=2, payload_digest=sig.payload_digest, mac=sig.mac)
+        assert not verify(keystore, forged, "hello")
+
+    def test_signature_has_wire_size(self, keystore):
+        assert sign(keystore.private_key(0), "x").size_bytes == 64
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(signer=0, payload_digest=b"short", mac=b"m")
+
+
+class TestAggregateSignatures:
+    def test_aggregate_and_verify_same_message(self, keystore):
+        sigs = [sign(keystore.private_key(r), "rank", 7) for r in range(3)]
+        agg = aggregate(sigs)
+        payloads = {r: ("rank", 7) for r in range(3)}
+        assert verify_aggregate(keystore, agg, payloads)
+
+    def test_aggregate_and_verify_distinct_messages(self, keystore):
+        # The BGLS property Ladon relies on: different signers, different ranks.
+        sigs = [sign(keystore.private_key(r), "rank", r + 10) for r in range(4)]
+        agg = aggregate(sigs)
+        payloads = {r: ("rank", r + 10) for r in range(4)}
+        assert verify_aggregate(keystore, agg, payloads)
+
+    def test_verify_rejects_wrong_claimed_payload(self, keystore):
+        sigs = [sign(keystore.private_key(r), "rank", 5) for r in range(3)]
+        agg = aggregate(sigs)
+        payloads = {r: ("rank", 6) for r in range(3)}
+        assert not verify_aggregate(keystore, agg, payloads)
+
+    def test_verify_rejects_missing_signer(self, keystore):
+        sigs = [sign(keystore.private_key(r), "rank", 5) for r in range(3)]
+        agg = aggregate(sigs)
+        payloads = {r: ("rank", 5) for r in range(2)}
+        assert not verify_aggregate(keystore, agg, payloads)
+
+    def test_aggregate_rejects_duplicate_signers(self, keystore):
+        sig = sign(keystore.private_key(0), "x")
+        with pytest.raises(ValueError):
+            aggregate([sig, sig])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_aggregate_size_is_constant_in_message_count(self, keystore):
+        small = aggregate([sign(keystore.private_key(r), "x") for r in range(2)])
+        large = aggregate([sign(keystore.private_key(r), "x") for r in range(4)])
+        # One BLS point either way; only the signer bitmap may grow (by words).
+        assert large.size_bytes - small.size_bytes <= 4
+
+    def test_signers_listed_sorted(self, keystore):
+        sigs = [sign(keystore.private_key(r), "x") for r in (3, 1, 2)]
+        assert aggregate(sigs).signers == (1, 2, 3)
+
+
+class TestQuorumCertificate:
+    def test_quorum_certificate_records_value_and_signers(self, keystore):
+        sigs = [sign(keystore.private_key(r), "rank", 9) for r in range(3)]
+        qc = make_quorum_certificate(9, view=0, round=2, instance=1, signatures=sigs)
+        assert qc.value == 9
+        assert qc.quorum_size() == 3
+        assert set(qc.signers) == {0, 1, 2}
+
+    def test_quorum_certificate_size(self, keystore):
+        sigs = [sign(keystore.private_key(r), "rank", 9) for r in range(3)]
+        qc = make_quorum_certificate(9, view=0, round=2, instance=1, signatures=sigs)
+        assert qc.size_bytes > 96
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "n,f,quorum", [(4, 1, 3), (7, 2, 5), (10, 3, 7), (16, 5, 11), (128, 42, 85)]
+    )
+    def test_thresholds(self, n, f, quorum):
+        assert fault_threshold(n) == f
+        assert quorum_threshold(n) == quorum
+
+    def test_thresholds_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            quorum_threshold(0)
+        with pytest.raises(ValueError):
+            fault_threshold(-1)

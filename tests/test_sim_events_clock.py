@@ -1,0 +1,144 @@
+"""Tests for the event queue, virtual clock and simulator core."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advances(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_rejects_backwards(self):
+        clock = VirtualClock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append(1))
+        queue.push(1.0, lambda: order.append(2))
+        queue.push(1.0, lambda: order.append(3))
+        while queue:
+            queue.pop().callback()
+        assert order == [1, 2, 3]
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        assert len(queue) == 1
+        popped = queue.pop()
+        assert popped.time == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+
+class TestSimulator:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(sim.now()))
+        sim.schedule_after(0.5, lambda: fired.append(sim.now()))
+        sim.run()
+        assert fired == [0.5, 1.0]
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        end = sim.run(until=2.0)
+        assert end == 2.0
+        assert len(sim.queue) == 1  # future event still pending
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_after(1.0, lambda: fired.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now() == 2.0
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_deterministic_rng(self):
+        a = Simulator(seed=42).rng.random()
+        b = Simulator(seed=42).rng.random()
+        assert a == b
+
+    def test_cancel_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []

@@ -1,0 +1,90 @@
+"""Tests for fault configuration and injection."""
+
+import pytest
+
+from repro.sim.faults import CrashSpec, FaultConfig, FaultInjector, StragglerSpec
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+
+
+class TestStragglerSpec:
+    def test_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            StragglerSpec(replica=0, slowdown=0.5)
+
+    def test_defaults(self):
+        spec = StragglerSpec(replica=3)
+        assert spec.slowdown == 10.0
+        assert not spec.byzantine
+
+
+class TestFaultConfig:
+    def test_with_stragglers_selects_requested_count(self):
+        config = FaultConfig.with_stragglers(3, 16, seed=1)
+        assert config.straggler_count() == 3
+        assert len({s.replica for s in config.stragglers}) == 3
+
+    def test_with_stragglers_deterministic(self):
+        a = FaultConfig.with_stragglers(2, 16, seed=5)
+        b = FaultConfig.with_stragglers(2, 16, seed=5)
+        assert [s.replica for s in a.stragglers] == [s.replica for s in b.stragglers]
+
+    def test_with_stragglers_zero(self):
+        config = FaultConfig.with_stragglers(0, 8)
+        assert config.straggler_count() == 0
+
+    def test_with_stragglers_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            FaultConfig.with_stragglers(9, 8)
+
+    def test_straggler_queries(self):
+        config = FaultConfig(stragglers=(StragglerSpec(replica=2, slowdown=5.0, byzantine=True),))
+        assert config.is_straggler(2)
+        assert config.is_byzantine(2)
+        assert not config.is_straggler(3)
+        assert config.slowdown_of(2) == 5.0
+        assert config.slowdown_of(1) == 1.0
+
+    def test_byzantine_flag_propagates(self):
+        config = FaultConfig.with_stragglers(2, 8, byzantine=True, seed=0)
+        assert all(s.byzantine for s in config.stragglers)
+
+
+class _DummyNode(Node):
+    def on_message(self, sender, message):
+        pass
+
+
+class TestFaultInjector:
+    def _build(self, crashes):
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        nodes = {i: _DummyNode(i, sim, net) for i in range(4)}
+        injector = FaultInjector(sim, nodes, FaultConfig(crashes=crashes))
+        injector.arm()
+        return sim, nodes, injector
+
+    def test_crash_at_time(self):
+        sim, nodes, injector = self._build((CrashSpec(replica=1, at=5.0),))
+        sim.run()
+        assert nodes[1].crashed
+        assert injector.crash_log == [(5.0, 1, "crash")]
+
+    def test_crash_and_recover(self):
+        sim, nodes, injector = self._build((CrashSpec(replica=2, at=1.0, recover_at=3.0),))
+        sim.run()
+        assert not nodes[2].crashed
+        assert [entry[2] for entry in injector.crash_log] == ["crash", "recover"]
+
+    def test_recover_before_crash_rejected(self):
+        with pytest.raises(ValueError):
+            self._build((CrashSpec(replica=0, at=5.0, recover_at=4.0),))
+
+    def test_unknown_replica_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = {0: _DummyNode(0, sim, net)}
+        injector = FaultInjector(sim, nodes, FaultConfig(crashes=(CrashSpec(replica=7, at=1.0),)))
+        with pytest.raises(KeyError):
+            injector.arm()

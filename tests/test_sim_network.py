@@ -1,0 +1,175 @@
+"""Tests for latency models, the network transport and nodes."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import DEFAULT_WAN_REGIONS, LanLatency, UniformLatency, WanLatency
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+
+
+class TestLatencyModels:
+    def test_uniform_latency_self_delivery_is_free(self):
+        model = UniformLatency(base=0.01)
+        assert model.delay(1, 1, random.Random(0)) == 0.0
+
+    def test_uniform_latency_base(self):
+        model = UniformLatency(base=0.01, jitter=0.0)
+        assert model.delay(0, 1, random.Random(0)) == pytest.approx(0.01)
+
+    def test_uniform_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformLatency(base=-1)
+
+    def test_lan_latency_sub_millisecond(self):
+        model = LanLatency()
+        delay = model.delay(0, 1, random.Random(0))
+        assert 0.0 < delay < 0.002
+
+    def test_wan_latency_regions_assigned_round_robin(self):
+        model = WanLatency(8)
+        assert model.region_of(0) == DEFAULT_WAN_REGIONS[0].name
+        assert model.region_of(4) == DEFAULT_WAN_REGIONS[0].name
+        assert model.region_of(1) == DEFAULT_WAN_REGIONS[1].name
+
+    def test_wan_intercontinental_slower_than_intra_region(self):
+        model = WanLatency(8, jitter=0.0)
+        rng = random.Random(0)
+        intra = model.delay(0, 4, rng)   # same region
+        inter = model.delay(0, 2, rng)   # Paris <-> Sydney
+        assert inter > intra * 10
+
+    def test_wan_symmetric_base(self):
+        model = WanLatency(8, jitter=0.0)
+        rng = random.Random(0)
+        assert model.delay(0, 1, rng) == pytest.approx(model.delay(1, 0, rng))
+
+    def test_wan_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            WanLatency(0)
+
+
+class _Recorder(Node):
+    def __init__(self, node_id, simulator, network):
+        super().__init__(node_id, simulator, network)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.now(), sender, message))
+
+
+@pytest.fixture
+def sim_net():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=UniformLatency(base=0.01, jitter=0.0), config=NetworkConfig(processing_delay=0.0))
+    return sim, net
+
+
+class TestNetwork:
+    def test_send_delivers_with_latency(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        a.send(1, "hello", size_bytes=0)
+        sim.run()
+        assert len(b.received) == 1
+        time, sender, message = b.received[0]
+        assert sender == 0 and message == "hello"
+        assert time == pytest.approx(0.01)
+
+    def test_bandwidth_serialises_uplink(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        big = 12_500_000  # 0.1 s at 1 Gbps
+        a.send(1, "m1", size_bytes=big)
+        a.send(1, "m2", size_bytes=big)
+        sim.run()
+        t1 = b.received[0][0]
+        t2 = b.received[1][0]
+        assert t2 - t1 == pytest.approx(0.1, rel=0.05)
+
+    def test_broadcast_reaches_everyone(self, sim_net):
+        sim, net = sim_net
+        nodes = [_Recorder(i, sim, net) for i in range(4)]
+        net.broadcast(0, "ping")
+        sim.run()
+        for node in nodes:
+            assert len(node.received) == 1
+
+    def test_stats_count_messages_and_bytes(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        _Recorder(1, sim, net)
+        net.send(0, 1, "x", size_bytes=100)
+        sim.run()
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 1
+        assert net.stats.bytes_per_node[0] == 100
+
+    def test_link_filter_drops(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        net.set_link_filter(lambda s, r: False)
+        net.send(0, 1, "x")
+        sim.run()
+        assert b.received == []
+        assert net.stats.messages_dropped == 1
+
+    def test_duplicate_registration_rejected(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        with pytest.raises(ValueError):
+            net.register(0, lambda s, m: None)
+
+    def test_crashed_node_neither_sends_nor_receives(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        b.crash()
+        a.send(1, "x")
+        b.send(0, "y")
+        sim.run()
+        assert b.received == []
+        assert a.received == []
+
+    def test_crash_cancels_timers(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        fired = []
+        a.set_timer("t", 1.0, lambda: fired.append(1))
+        a.crash()
+        sim.run()
+        assert fired == []
+
+    def test_node_timer_restart_replaces_previous(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        fired = []
+        a.set_timer("t", 1.0, lambda: fired.append("first"))
+        a.set_timer("t", 2.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["second"]
+
+    def test_cancel_timer(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        fired = []
+        a.set_timer("t", 1.0, lambda: fired.append(1))
+        a.cancel_timer("t")
+        sim.run()
+        assert fired == []
+        assert not a.has_timer("t")
+
+    def test_recovered_node_receives_again(self, sim_net):
+        sim, net = sim_net
+        a = _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        b.crash()
+        b.recover()
+        a.send(1, "x")
+        sim.run()
+        assert len(b.received) == 1

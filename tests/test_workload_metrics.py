@@ -1,0 +1,226 @@
+"""Tests for the workload substrate and the metrics package."""
+
+import pytest
+
+from repro.core.block import Block
+from repro.core.ordering import ConfirmedBlock
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.latency import LatencyAccumulator
+from repro.metrics.resources import CryptoCostModel, ResourceModel
+from repro.metrics.throughput import ThroughputSeries, peak_throughput
+from repro.workload.clients import ClientPool
+from repro.workload.generator import OpenLoopGenerator, WorkloadConfig, generate_transactions
+from repro.workload.transactions import Batch, Transaction, TransactionFactory
+
+
+class TestTransactions:
+    def test_factory_ids_unique_and_increasing(self):
+        factory = TransactionFactory()
+        txs = [factory.create(0, 0.0) for _ in range(10)]
+        ids = [tx.tx_id for tx in txs]
+        assert ids == sorted(set(ids))
+
+    def test_payload_size_default_500(self):
+        tx = TransactionFactory().create(0, 0.0)
+        assert tx.size_bytes == 500
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(tx_id=0, client_id=0, submitted_at=0.0, payload_bytes=0)
+
+
+class TestBatch:
+    def test_materialised_batch(self):
+        factory = TransactionFactory()
+        txs = [factory.create(0, float(i)) for i in range(4)]
+        batch = Batch.from_txs(txs)
+        assert batch.tx_count == 4
+        assert batch.size_bytes == 2000
+        assert batch.mean_submitted_at() == pytest.approx(1.5)
+
+    def test_synthetic_batch(self):
+        batch = Batch.synthetic(4096, submitted_at=3.0)
+        assert batch.tx_count == 4096
+        assert batch.size_bytes == 4096 * 500
+        assert batch.mean_submitted_at() == 3.0
+
+    def test_empty_batch(self):
+        batch = Batch.empty()
+        assert batch.tx_count == 0
+        assert batch.size_bytes == 0
+
+    def test_cannot_mix_representations(self):
+        with pytest.raises(ValueError):
+            Batch(txs=(1,), synthetic_count=5)
+
+
+class TestWorkloadGenerator:
+    def test_generate_transactions_count(self):
+        config = WorkloadConfig(num_clients=4, arrival_rate_tps=100.0, seed=1)
+        txs = generate_transactions(config, duration=2.0)
+        assert len(txs) == 200
+        assert txs[0].submitted_at <= txs[-1].submitted_at
+
+    def test_open_loop_generator_streams_in_order(self):
+        generator = OpenLoopGenerator(WorkloadConfig(num_clients=2, arrival_rate_tps=10.0))
+        first = generator.transactions_until(1.0)
+        second = generator.transactions_until(2.0)
+        assert len(first) == 11  # arrivals at 0.0 .. 1.0 inclusive
+        assert len(second) == 10
+        assert generator.generated_count == 21
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_clients=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival_rate_tps=0)
+
+
+class TestClientPool:
+    def test_latency_measured_from_submission(self):
+        pool = ClientPool()
+        tx = Transaction(tx_id=1, client_id=0, submitted_at=2.0)
+        pool.submit(tx)
+        latency = pool.confirm(tx, confirmed_at=5.0)
+        assert latency == pytest.approx(3.0)
+        assert pool.stats.average_latency == pytest.approx(3.0)
+
+    def test_duplicate_confirmation_ignored(self):
+        pool = ClientPool()
+        tx = Transaction(tx_id=1, client_id=0, submitted_at=0.0)
+        pool.submit(tx)
+        pool.confirm(tx, 1.0)
+        assert pool.confirm(tx, 2.0) is None
+        assert pool.stats.confirmed == 1
+
+    def test_unknown_tx_ignored(self):
+        pool = ClientPool()
+        tx = Transaction(tx_id=9, client_id=0, submitted_at=0.0)
+        assert pool.confirm(tx, 1.0) is None
+
+    def test_outstanding(self):
+        pool = ClientPool()
+        txs = [Transaction(tx_id=i, client_id=0, submitted_at=0.0) for i in range(3)]
+        pool.submit_many(txs)
+        pool.confirm(txs[0], 1.0)
+        assert pool.outstanding == 2
+
+    def test_percentile(self):
+        pool = ClientPool()
+        for i in range(10):
+            tx = Transaction(tx_id=i, client_id=0, submitted_at=0.0)
+            pool.submit(tx)
+            pool.confirm(tx, confirmed_at=float(i + 1))
+        assert pool.stats.percentile_latency(50) == pytest.approx(5.0, abs=1.0)
+
+
+class TestThroughput:
+    def test_series_bins(self):
+        series = ThroughputSeries(bin_width=1.0)
+        series.record(0.5, 100)
+        series.record(0.7, 50)
+        series.record(2.2, 30)
+        points = dict(series.series(until=3.0))
+        assert points[0.0] == 150
+        assert points[1.0] == 0
+        assert points[2.0] == 30
+
+    def test_average_and_peak(self):
+        series = ThroughputSeries()
+        series.record(0.5, 100)
+        series.record(1.5, 300)
+        assert series.average(2.0) == 200
+        assert series.peak() == 300
+
+    def test_peak_throughput_helper(self):
+        assert peak_throughput([(0.1, 10), (0.2, 10), (1.5, 5)]) == 20
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries().record(0.0, -1)
+
+
+class TestLatencyAccumulator:
+    def test_weighted_average(self):
+        acc = LatencyAccumulator()
+        acc.record_block(0.0, 1.0, tx_count=1)
+        acc.record_block(0.0, 3.0, tx_count=3)
+        assert acc.average() == pytest.approx((1.0 + 9.0) / 4)
+
+    def test_zero_tx_blocks_ignored(self):
+        acc = LatencyAccumulator()
+        acc.record_block(0.0, 5.0, tx_count=0)
+        assert acc.count == 0
+
+    def test_percentile(self):
+        acc = LatencyAccumulator()
+        for i in range(1, 11):
+            acc.record_block(0.0, float(i), tx_count=1)
+        assert acc.percentile(100) == 10.0
+        assert acc.percentile(10) <= acc.percentile(90)
+
+
+class TestResources:
+    def test_crypto_cost_charged(self):
+        model = ResourceModel()
+        model.record_crypto(0, "verify", count=10)
+        usage = model.usage(0)
+        assert usage.crypto_ops["verify"] == 10
+        assert usage.cpu_seconds == pytest.approx(10 * CryptoCostModel().verify)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            ResourceModel().record_crypto(0, "teleport")
+
+    def test_bandwidth_accounting(self):
+        model = ResourceModel()
+        model.record_bytes_sent(1, 2_000_000)
+        assert model.usage(1).bandwidth_mbps(2.0) == pytest.approx(1.0)
+
+    def test_cpu_percent_normalised_by_duration(self):
+        model = ResourceModel()
+        model.record_crypto(0, "sign", count=40_000)  # 1 CPU-second at 25 us
+        assert model.usage(0).cpu_percent(duration=1.0) == pytest.approx(100.0, rel=0.01)
+
+    def test_averages_over_replicas(self):
+        model = ResourceModel()
+        model.record_bytes_sent(0, 1_000_000)
+        model.record_bytes_sent(1, 3_000_000)
+        assert model.average_bandwidth_mbps(1.0) == pytest.approx(2.0)
+        assert model.total_bytes() == 4_000_000
+
+
+class TestMetricsCollector:
+    def _confirmed(self, sn, tx_count, confirmed_at, submitted_at=0.0):
+        block = Block(
+            instance=0, round=sn + 1, rank=sn, tx_count_hint=tx_count,
+            proposed_at=submitted_at, committed_at=confirmed_at, batch_submitted_at=submitted_at,
+        )
+        return ConfirmedBlock(block=block, sn=sn, confirmed_at=confirmed_at)
+
+    def test_summary_counts(self):
+        collector = MetricsCollector()
+        collector.record_partial_commit()
+        collector.record_partial_commit()
+        collector.record_confirmations([self._confirmed(0, 100, 1.0), self._confirmed(1, 50, 2.0)])
+        metrics = collector.summarise("ladon-pbft", n=4, stragglers=0, duration=10.0)
+        assert metrics.confirmed_blocks == 2
+        assert metrics.confirmed_txs == 150
+        assert metrics.partially_committed_blocks == 2
+        assert metrics.throughput_tps == pytest.approx(15.0)
+        assert metrics.causal_strength == 1.0
+
+    def test_warmup_excluded_from_throughput(self):
+        collector = MetricsCollector()
+        collector.record_confirmation(self._confirmed(0, 100, confirmed_at=1.0))
+        collector.record_confirmation(self._confirmed(1, 100, confirmed_at=9.0))
+        metrics = collector.summarise("iss-pbft", n=4, stragglers=0, duration=10.0, warmup=5.0)
+        assert metrics.confirmed_txs == 100
+
+    def test_as_dict_round_trip(self):
+        collector = MetricsCollector()
+        collector.record_confirmation(self._confirmed(0, 10, 1.0))
+        metrics = collector.summarise("mir", n=4, stragglers=1, duration=5.0)
+        data = metrics.as_dict()
+        assert data["protocol"] == "mir"
+        assert data["stragglers"] == 1
