@@ -8,6 +8,7 @@ timing distribution.
 
 import os
 import sys
+import time
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
@@ -17,3 +18,15 @@ if _SRC not in sys.path:
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def time_once(fn, *args, **kwargs):
+    """Run ``fn`` once and return ``(result, wall-clock seconds)``.
+
+    Default timing helper for micro-benchmarks that compare two
+    implementations directly (e.g. the orderer drain benchmark) instead of
+    collecting a pytest-benchmark distribution.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

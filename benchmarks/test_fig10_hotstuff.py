@@ -7,12 +7,15 @@ counterparts because chained HotStuff commits a block only after three
 successors.
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_table
 
 from conftest import run_once
 
 
+@pytest.mark.slow
 def test_fig10_hotstuff_scaling(benchmark):
     rows = run_once(
         benchmark,

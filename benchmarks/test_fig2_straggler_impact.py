@@ -8,6 +8,8 @@
   straggler) and latency explodes (paper: up to 12x).
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_table
 
@@ -30,6 +32,7 @@ def test_fig2a_analytical_straggler_model(benchmark):
     print(f"  dynamic (Ladon) backlog bound:           {max(dynamic):.1f} blocks")
 
 
+@pytest.mark.slow
 def test_fig2b_iss_with_stragglers(benchmark):
     results = run_once(
         benchmark, experiments.fig2b_iss_stragglers, straggler_counts=(0, 1, 3), n=16, duration=40.0

@@ -6,6 +6,8 @@ stragglers all pre-determined-ordering protocols and Ladon are within a few
 percent of each other.
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_table
 
@@ -21,6 +23,7 @@ def _by(rows, **filters):
     return {r["protocol"]: r for r in out}
 
 
+@pytest.mark.slow
 def test_fig5_wan_scaling(benchmark):
     rows = run_once(
         benchmark,
@@ -57,6 +60,7 @@ def test_fig5_wan_scaling(benchmark):
     assert dqbft_large < 0.8 * dqbft_small
 
 
+@pytest.mark.slow
 def test_fig5_lan_scaling(benchmark):
     rows = run_once(
         benchmark,

@@ -5,12 +5,15 @@ timeout expires and the view change completes around t=21 s, after which
 throughput recovers.  Later dips correspond to epoch changes.
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_series
 
 from conftest import run_once
 
 
+@pytest.mark.slow
 def test_fig8_crash_recovery_timeline(benchmark):
     data = run_once(
         benchmark,

@@ -6,12 +6,15 @@ stragglers and somewhat higher with one straggler, because Ladon keeps
 confirming (and therefore keeps shipping) blocks that ISS simply queues.
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_table
 
 from conftest import run_once
 
 
+@pytest.mark.slow
 def test_table1_cpu_and_bandwidth(benchmark):
     rows = run_once(benchmark, experiments.table1_resources, n=32, duration=15.0, batch_size=512)
     print()

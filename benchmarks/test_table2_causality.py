@@ -5,12 +5,15 @@ DQBFT degrade sharply as stragglers are added or the straggler's proposal
 rate drops (ISS/RCC down to ~1e-5 .. 1e-16).
 """
 
+import pytest
+
 from repro.bench import experiments
 from repro.bench.report import format_table
 
 from conftest import run_once
 
 
+@pytest.mark.slow
 def test_table2_causal_strength(benchmark):
     data = run_once(
         benchmark,

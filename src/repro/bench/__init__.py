@@ -9,6 +9,10 @@ The harness supports two engines:
   global-ordering code over synthetic per-block commit times (used for the
   64–128 replica sweeps of Fig. 5/6/7/10 where message-level simulation is
   too slow to run routinely).
+
+Grid-shaped experiments run through :mod:`repro.bench.sweep`, a parallel
+sweep runner with an on-disk result cache; ``python -m repro.bench`` exposes
+every table/figure on the command line.
 """
 
 from repro.bench.config import ExperimentCell, EngineKind
@@ -16,6 +20,7 @@ from repro.bench.runner import run_cell, run_cells
 from repro.bench.analytical import AnalyticalConfig, run_analytical
 from repro.bench import experiments
 from repro.bench.report import format_table, format_series
+from repro.bench.sweep import SweepCache, SweepProgress, SweepRunner, cell_key, derive_seed, expand_grid
 
 __all__ = [
     "ExperimentCell",
@@ -27,4 +32,10 @@ __all__ = [
     "experiments",
     "format_table",
     "format_series",
+    "SweepCache",
+    "SweepProgress",
+    "SweepRunner",
+    "cell_key",
+    "derive_seed",
+    "expand_grid",
 ]

@@ -1,0 +1,153 @@
+"""Command-line entry point for the experiment sweep harness.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig5 --workers 4
+    python -m repro.bench table2 --cache-dir .sweep-cache --json out.json
+
+Each experiment name maps to the corresponding function in
+:mod:`repro.bench.experiments`; grid-shaped experiments run through a
+:class:`~repro.bench.sweep.SweepRunner` wired to the chosen worker count and
+cache directory, with per-cell progress streamed to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import experiments
+from repro.bench.report import format_series, format_table
+from repro.bench.sweep import SweepProgress, SweepRunner
+
+#: columns shared by every metrics row, printed in this order when present
+DEFAULT_COLUMNS = (
+    "protocol",
+    "n",
+    "stragglers",
+    "environment",
+    "throughput_tps",
+    "peak_throughput_tps",
+    "average_latency_s",
+    "causal_strength",
+    "confirmed_blocks",
+)
+
+#: experiment name -> (function, takes_sweep_runner)
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2a": experiments.fig2a_analytical,
+    "fig2b": experiments.fig2b_iss_stragglers,
+    "fig5": experiments.fig5_scaling,
+    "fig6": experiments.fig6_straggler_count,
+    "fig7": experiments.fig7_byzantine_stragglers,
+    "fig8": experiments.fig8_crash_recovery,
+    "table1": experiments.table1_resources,
+    "table2": experiments.table2_causality,
+    "fig10": experiments.fig10_hotstuff,
+    "appendix-a": experiments.appendix_a_complexity,
+}
+
+#: experiments that accept a ``sweep=`` runner (grid-shaped)
+SWEEPABLE = {"fig2b", "fig5", "fig6", "fig7", "table1", "table2", "fig10"}
+
+
+def _progress_printer(stream) -> Callable[[SweepProgress], None]:
+    def _print(progress: SweepProgress) -> None:
+        source = "cached" if progress.source == "cache" else "ran"
+        stream.write(
+            f"\r[{progress.done}/{progress.total}] {source} {progress.label}"
+            f" ({progress.cached} cache hits)   "
+        )
+        stream.flush()
+        if progress.done == progress.total:
+            stream.write("\n")
+
+    return _print
+
+
+def _rows_of(result: object) -> List[dict]:
+    """Flatten an experiment result into printable rows, best effort."""
+    if isinstance(result, list) and result and isinstance(result[0], dict):
+        return result
+    if isinstance(result, dict):
+        rows: List[dict] = []
+        for key, value in result.items():
+            if isinstance(value, list) and value and isinstance(value[0], dict):
+                for row in value:
+                    rows.append({"group": key, **row})
+            elif isinstance(value, dict) and "protocol" in value:
+                rows.append({"group": key, **value})
+        return rows
+    return []
+
+
+def _print_result(name: str, result: object) -> None:
+    if name == "fig8":
+        series = result.get("throughput_series", [])
+        print(format_series(series, title="fig8: throughput over time (tx/s)"))
+        print(f"crash at t={result['crash_time']}s; "
+              f"view change completed at t={result['view_change_completed_at']}")
+        rows = [result["metrics"]]
+    else:
+        rows = _rows_of(result)
+    if rows:
+        columns = [c for c in ("group",) + DEFAULT_COLUMNS if any(c in r for r in rows)]
+        extra = [c for c in rows[0] if c not in columns and c not in DEFAULT_COLUMNS]
+        print(format_table(rows, columns=columns + extra[:3], title=name))
+    elif name != "fig8":
+        print(json.dumps(result, indent=2, default=repr))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures via the sweep harness.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["list"])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid experiments (1 = sequential in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="directory for the on-disk result cache (default: .sweep-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="run every cell even if cached"
+    )
+    parser.add_argument("--json", dest="json_path", help="also dump the raw result as JSON")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            suffix = " (sweepable)" if name in SWEEPABLE else ""
+            print(f"{name:12s} {doc}{suffix}")
+        return 0
+
+    fn = EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.experiment in SWEEPABLE:
+        kwargs["sweep"] = SweepRunner(
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            progress=None if args.quiet else _progress_printer(sys.stderr),
+        )
+    result = fn(**kwargs)
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, default=repr)
+    _print_result(args.experiment, result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,13 @@ drivers in ``benchmarks/`` can both assert on the reproduced *shape* (who
 wins, by roughly what factor) and print the regenerated rows next to the
 paper's numbers for EXPERIMENTS.md.
 
+All grid-shaped experiments run through :mod:`repro.bench.sweep`: each
+function expands its parameter grid into cells and hands them to a
+:class:`~repro.bench.sweep.SweepRunner`, so every figure transparently gains
+parallel workers and disk caching (``python -m repro.bench <experiment>
+--workers N``).  Passing no runner keeps the historical behaviour — an
+in-process sequential sweep producing exactly the same rows.
+
 Default parameters are chosen so the whole suite regenerates in minutes on a
 laptop: the 8–32 replica cells run on the message-level simulator, the
 64–128 replica sweeps on the block-level analytical engine (see
@@ -13,7 +20,7 @@ laptop: the 8–32 replica cells run on the message-level simulator, the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.complexity import compare_protocol_complexity
 from repro.analysis.straggler_model import (
@@ -23,7 +30,7 @@ from repro.analysis.straggler_model import (
     throughput_ratio,
 )
 from repro.bench.config import ExperimentCell
-from repro.bench.runner import run_cell, run_des_cell
+from repro.bench.sweep import SweepRunner, expand_grid
 from repro.metrics.collector import RunMetrics
 from repro.sim.faults import CrashSpec, FaultConfig
 
@@ -33,6 +40,22 @@ PAPER_PROTOCOLS: Tuple[str, ...] = ("ladon-pbft", "iss-pbft", "rcc", "mir", "dqb
 
 def _metrics_dict(metrics: RunMetrics) -> Dict[str, float]:
     return metrics.as_dict()
+
+
+def _runner(sweep: Optional[SweepRunner]) -> SweepRunner:
+    """The sweep runner to use: caller-supplied or a sequential default."""
+    return sweep if sweep is not None else SweepRunner()
+
+
+def instances_led_by(replica: int, num_instances: int, n: int, view: int = 0) -> List[int]:
+    """Consensus instances whose view-``view`` leader is ``replica``.
+
+    Instance ``i``'s leader in view ``v`` is ``(i + v) % n`` (one instance
+    per replica in the paper's deployment, rotating on view changes).
+    Experiment code must use this mapping rather than equating instance ids
+    with replica ids — they only coincide for view 0 with ``m == n``.
+    """
+    return [i for i in range(num_instances) if (i + view) % n == replica]
 
 
 # --------------------------------------------------------------------- Fig 2
@@ -61,22 +84,23 @@ def fig2b_iss_stragglers(
     duration: float = 40.0,
     batch_size: int = 1024,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 2b: ISS-PBFT throughput/latency with 0, 1, 3 stragglers (WAN)."""
-    results: Dict[int, Dict[str, float]] = {}
-    for count in straggler_counts:
-        cell = ExperimentCell(
+    cells = expand_grid(
+        {"stragglers": straggler_counts},
+        defaults=dict(
             protocol="iss-pbft",
             n=n,
-            stragglers=count,
             environment="wan",
             duration=duration,
             batch_size=batch_size,
             engine="des",
             seed=seed,
-        )
-        results[count] = _metrics_dict(run_cell(cell))
-    return results
+        ),
+    )
+    rows = _runner(sweep).run(cells)
+    return {cell.stragglers: row for cell, row in zip(cells, rows)}
 
 
 # --------------------------------------------------------------------- Fig 5
@@ -87,6 +111,7 @@ def fig5_scaling(
     straggler_counts: Sequence[int] = (0, 1),
     duration: float = 300.0,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 5 (a)-(h): throughput and latency vs replica count, WAN and LAN.
 
@@ -94,23 +119,18 @@ def fig5_scaling(
     5-protocol x 5-size x 2-environment x 2-straggler grid regenerates in
     seconds.
     """
-    rows: List[Dict[str, float]] = []
-    for environment in environments:
-        for stragglers in straggler_counts:
-            for n in replica_counts:
-                for protocol in protocols:
-                    cell = ExperimentCell(
-                        protocol=protocol,
-                        n=n,
-                        stragglers=stragglers,
-                        environment=environment,
-                        duration=duration,
-                        engine="analytical",
-                        seed=seed,
-                    )
-                    row = _metrics_dict(run_cell(cell))
-                    row["environment"] = environment
-                    rows.append(row)
+    cells = expand_grid(
+        {
+            "environment": environments,
+            "stragglers": straggler_counts,
+            "n": replica_counts,
+            "protocol": protocols,
+        },
+        defaults=dict(duration=duration, engine="analytical", seed=seed),
+    )
+    rows = _runner(sweep).run(cells)
+    for cell, row in zip(cells, rows):
+        row["environment"] = cell.environment
     return rows
 
 
@@ -121,22 +141,16 @@ def fig6_straggler_count(
     n: int = 16,
     duration: float = 120.0,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 6: throughput/latency vs number of stragglers (16 replicas, WAN)."""
-    rows: List[Dict[str, float]] = []
-    for count in straggler_counts:
-        for protocol in protocols:
-            cell = ExperimentCell(
-                protocol=protocol,
-                n=n,
-                stragglers=count,
-                environment="wan",
-                duration=duration,
-                engine="analytical",
-                seed=seed,
-            )
-            rows.append(_metrics_dict(run_cell(cell)))
-    return rows
+    cells = expand_grid(
+        {"stragglers": straggler_counts, "protocol": protocols},
+        defaults=dict(
+            n=n, environment="wan", duration=duration, engine="analytical", seed=seed
+        ),
+    )
+    return _runner(sweep).run(cells)
 
 
 # --------------------------------------------------------------------- Fig 7
@@ -145,23 +159,25 @@ def fig7_byzantine_stragglers(
     n: int = 16,
     duration: float = 120.0,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> Dict[str, List[Dict[str, float]]]:
     """Fig. 7: Ladon under honest vs Byzantine stragglers (16 replicas, WAN)."""
+    cells = expand_grid(
+        {"stragglers": straggler_counts, "byzantine": (False, True)},
+        defaults=dict(
+            protocol="ladon-pbft",
+            n=n,
+            environment="wan",
+            duration=duration,
+            engine="analytical",
+            seed=seed,
+        ),
+    )
+    rows = _runner(sweep).run(cells)
     honest: List[Dict[str, float]] = []
     byzantine: List[Dict[str, float]] = []
-    for count in straggler_counts:
-        for byz, sink in ((False, honest), (True, byzantine)):
-            cell = ExperimentCell(
-                protocol="ladon-pbft",
-                n=n,
-                stragglers=count,
-                byzantine=byz,
-                environment="wan",
-                duration=duration,
-                engine="analytical",
-                seed=seed,
-            )
-            sink.append(_metrics_dict(run_cell(cell)))
+    for cell, row in zip(cells, rows):
+        (byzantine if cell.byzantine else honest).append(row)
     return {"honest": honest, "byzantine": byzantine}
 
 
@@ -178,6 +194,10 @@ def fig8_crash_recovery(
 
     The crashed replica leads one instance; the view-change timeout is 10 s,
     so the instance recovers (and throughput with it) about 10 s later.
+
+    This is the one experiment that needs the full :class:`SystemResult`
+    timeline (throughput series, view-change log), not just summary metrics,
+    so it runs its single cell directly rather than through the sweep cache.
     """
     crashed_replica = n - 1  # crash a leader other than the observer
     cell = ExperimentCell(
@@ -196,8 +216,13 @@ def fig8_crash_recovery(
 
     system = build_system(config)
     result = system.run()
+    # The view-change log records *instance* ids; map the crashed replica to
+    # the instance(s) it led so we report when leadership actually rotated
+    # away from the crashed node (instance id == replica id only holds for
+    # view 0 with one instance per replica).
+    crashed_instances = set(instances_led_by(crashed_replica, config.m, config.n))
     view_change_completed = [
-        t for (t, instance, view) in result.view_change_times if instance == crashed_replica
+        t for (t, instance, view) in result.view_change_times if instance in crashed_instances
     ]
     return {
         "throughput_series": result.throughput_series,
@@ -214,27 +239,23 @@ def table1_resources(
     duration: float = 20.0,
     batch_size: int = 1024,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Table 1: CPU and bandwidth usage of Ladon and ISS (0 and 1 straggler)."""
-    rows: List[Dict[str, float]] = []
-    for protocol in ("iss-pbft", "ladon-pbft"):
-        for environment in ("wan", "lan"):
-            for stragglers in (0, 1):
-                cell = ExperimentCell(
-                    protocol=protocol,
-                    n=n,
-                    stragglers=stragglers,
-                    environment=environment,
-                    duration=duration,
-                    batch_size=batch_size,
-                    engine="des",
-                    seed=seed,
-                )
-                result = run_des_cell(cell)
-                row = _metrics_dict(result.metrics)
-                row["environment"] = environment
-                row["block_rate"] = cell.block_rate()
-                rows.append(row)
+    cells = expand_grid(
+        {
+            "protocol": ("iss-pbft", "ladon-pbft"),
+            "environment": ("wan", "lan"),
+            "stragglers": (0, 1),
+        },
+        defaults=dict(
+            n=n, duration=duration, batch_size=batch_size, engine="des", seed=seed
+        ),
+    )
+    rows = _runner(sweep).run(cells)
+    for cell, row in zip(cells, rows):
+        row["environment"] = cell.environment
+        row["block_rate"] = cell.block_rate()
     return rows
 
 
@@ -247,6 +268,7 @@ def table2_causality(
     duration: float = 30.0,
     batch_size: int = 512,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> Dict[str, List[Dict[str, float]]]:
     """Table 2: causal strength vs straggler count and straggler proposal rate.
 
@@ -255,41 +277,44 @@ def table2_causality(
     the slowdown factor k of the per-leader rate (1 block/s at 16 replicas
     with a 16 blocks/s total rate).
     """
-    by_count: List[Dict[str, float]] = []
-    for count in straggler_counts:
-        for protocol in protocols:
-            cell = ExperimentCell(
-                protocol=protocol,
-                n=n,
-                stragglers=count,
-                straggler_slowdown=10.0,  # 0.1 blocks/s against a 1 block/s baseline
-                environment="wan",
-                duration=duration,
-                batch_size=batch_size,
-                engine="des",
-                seed=seed,
-            )
-            by_count.append(_metrics_dict(run_cell(cell)))
+    runner = _runner(sweep)
+    count_cells = expand_grid(
+        {"stragglers": straggler_counts, "protocol": protocols},
+        defaults=dict(
+            n=n,
+            straggler_slowdown=10.0,  # 0.1 blocks/s against a 1 block/s baseline
+            environment="wan",
+            duration=duration,
+            batch_size=batch_size,
+            engine="des",
+            seed=seed,
+        ),
+    )
+    by_count = runner.run(count_cells)
 
-    by_rate: List[Dict[str, float]] = []
     per_leader_rate = 16.0 / n
+    rate_cells: List[ExperimentCell] = []
     for rate in proposal_rates:
         slowdown = max(1.0, per_leader_rate / rate)
-        for protocol in protocols:
-            cell = ExperimentCell(
-                protocol=protocol,
-                n=n,
-                stragglers=1,
-                straggler_slowdown=slowdown,
-                environment="wan",
-                duration=duration,
-                batch_size=batch_size,
-                engine="des",
-                seed=seed,
+        rate_cells.extend(
+            expand_grid(
+                {"protocol": protocols},
+                defaults=dict(
+                    n=n,
+                    stragglers=1,
+                    straggler_slowdown=slowdown,
+                    environment="wan",
+                    duration=duration,
+                    batch_size=batch_size,
+                    engine="des",
+                    seed=seed,
+                ),
             )
-            row = _metrics_dict(run_cell(cell))
-            row["proposal_rate"] = rate
-            by_rate.append(row)
+        )
+    by_rate = runner.run(rate_cells)
+    rates_per_cell = [rate for rate in proposal_rates for _ in protocols]
+    for rate, row in zip(rates_per_cell, by_rate):
+        row["proposal_rate"] = rate
     return {"by_straggler_count": by_count, "by_proposal_rate": by_rate}
 
 
@@ -299,23 +324,18 @@ def fig10_hotstuff(
     straggler_counts: Sequence[int] = (0, 1),
     duration: float = 1200.0,
     seed: int = 0,
+    sweep: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 10 (Appendix D): Ladon-HotStuff vs ISS-HotStuff, WAN."""
-    rows: List[Dict[str, float]] = []
-    for stragglers in straggler_counts:
-        for n in replica_counts:
-            for protocol in ("ladon-hotstuff", "iss-hotstuff"):
-                cell = ExperimentCell(
-                    protocol=protocol,
-                    n=n,
-                    stragglers=stragglers,
-                    environment="wan",
-                    duration=duration,
-                    engine="analytical",
-                    seed=seed,
-                )
-                rows.append(_metrics_dict(run_cell(cell)))
-    return rows
+    cells = expand_grid(
+        {
+            "stragglers": straggler_counts,
+            "n": replica_counts,
+            "protocol": ("ladon-hotstuff", "iss-hotstuff"),
+        },
+        defaults=dict(environment="wan", duration=duration, engine="analytical", seed=seed),
+    )
+    return _runner(sweep).run(cells)
 
 
 # --------------------------------------------------------------- Appendix A

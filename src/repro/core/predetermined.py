@@ -25,6 +25,10 @@ class PredeterminedOrderer(GlobalOrderer):
         self._confirmed: List[ConfirmedBlock] = []
         self._pending: Dict[int, Block] = {}
         self._next_sn = 0
+        # Highest global index ever received; because confirmation drains a
+        # contiguous prefix, whenever ``_pending`` is non-empty this is also
+        # the highest *pending* index, giving an O(1) ``hole_count``.
+        self._highest_seen = -1
 
     def global_index(self, block: Block) -> int:
         """The pre-determined index of ``block`` (rounds are 1-based)."""
@@ -45,6 +49,7 @@ class PredeterminedOrderer(GlobalOrderer):
         if index < self._next_sn or index in self._pending:
             return []  # duplicate delivery
         self._pending[index] = block
+        self._highest_seen = max(self._highest_seen, index)
         newly: List[ConfirmedBlock] = []
         while self._next_sn in self._pending:
             blk = self._pending.pop(self._next_sn)
@@ -63,6 +68,5 @@ class PredeterminedOrderer(GlobalOrderer):
         """Number of holes below the highest pending index (diagnostic)."""
         if not self._pending:
             return 0
-        highest = max(self._pending)
-        expected = highest - self._next_sn + 1
-        return expected - len(self._pending) + (0 if self._next_sn in self._pending else 0)
+        expected = self._highest_seen - self._next_sn + 1
+        return expected - len(self._pending)

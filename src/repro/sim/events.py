@@ -21,6 +21,13 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: set by the queue when the event is handed to the simulator; a late
+    #: ``cancel()`` on a popped event must not touch the live-event count
+    popped: bool = field(compare=False, default=False)
+    #: whether the event still counts toward the owning queue's live total;
+    #: cleared exactly once, whichever happens first: queue-level cancel,
+    #: delivery, or lazy discard of a directly-cancelled event
+    live: bool = field(compare=False, default=True)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -41,28 +48,42 @@ class EventQueue:
         self._live += 1
         return event
 
+    def _forget(self, event: Event) -> None:
+        """Remove ``event`` from the live count exactly once.
+
+        Events can leave the live set three ways — queue-level cancel,
+        delivery via ``pop``, or lazy discard after a *direct*
+        ``Event.cancel()`` (timers cancel their events without going through
+        the queue) — and the ``live`` flag guarantees each is counted once.
+        """
+        if event.live:
+            event.live = False
+            self._live -= 1
+
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` if empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            self._forget(event)
             if event.cancelled:
                 continue
-            self._live -= 1
+            event.popped = True
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest live event without popping."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._forget(heapq.heappop(self._heap))
         if not self._heap:
             return None
         return self._heap[0].time
 
     def cancel(self, event: Event) -> None:
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        if event.popped or event.cancelled:
+            return  # already delivered (or already cancelled): nothing is live
+        event.cancel()
+        self._forget(event)
 
     def __len__(self) -> int:
         return self._live

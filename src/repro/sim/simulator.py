@@ -79,7 +79,11 @@ class Simulator:
             processed += 1
             if max_events is not None and processed >= max_events:
                 break
-        if until is not None and self.now() < until and not self._stopped:
+        # Fast-forward to the horizon only when the queue truly drained:
+        # breaking on ``max_events`` (or ``stop()``) leaves live events behind,
+        # and jumping the clock past them would make a later ``run()`` process
+        # them "in the past".
+        if until is not None and self.now() < until and not self._stopped and not self.queue:
             self.clock.advance_to(until)
         return self.now()
 

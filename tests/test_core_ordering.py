@@ -1,11 +1,17 @@
 """Tests for the global ordering layer: dynamic (Ladon), pre-determined
 (ISS/Mir/RCC) and DQBFT orderers."""
 
+import random
+
 import pytest
 
-from repro.core.block import Block, BlockId
+from repro.core.block import Block, BlockId, ordering_key
 from repro.core.dqbft_ordering import DQBFTOrderer
-from repro.core.ordering import ConfirmationBar, DynamicOrderer
+from repro.core.ordering import (
+    ConfirmationBar,
+    DynamicOrderer,
+    ScanDrainDynamicOrderer,
+)
 from repro.core.predetermined import PredeterminedOrderer
 
 
@@ -153,6 +159,71 @@ class TestDynamicOrderer:
         assert [b.rank for b in pending] == [2, 5]
 
 
+def random_workload(seed, num_instances, rounds):
+    """A randomized partial-commit schedule: per-instance monotone ranks,
+    random cross-instance interleaving, occasional out-of-order delivery."""
+    rng = random.Random(seed)
+    blocks = []
+    rank = 0
+    per_instance = {i: [] for i in range(num_instances)}
+    for round_ in range(1, rounds + 1):
+        instances = list(range(num_instances))
+        rng.shuffle(instances)
+        for instance in instances:
+            rank += rng.randint(1, 3)
+            per_instance[instance].append(Block(instance=instance, round=round_, rank=rank))
+    for instance, seq in per_instance.items():
+        blocks.extend(seq)
+    rng.shuffle(blocks)
+    # Out-of-order delivery within an instance is allowed (the orderer must
+    # wait for the contiguous round prefix); the shuffle above produces it.
+    return blocks
+
+
+class TestHeapDrainEquivalence:
+    """Property tests: heap-based drain ≡ the seed implementation."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_workloads_confirm_identically(self, seed):
+        rng = random.Random(1000 + seed)
+        num_instances = rng.randint(1, 6)
+        blocks = random_workload(seed, num_instances, rounds=rng.randint(3, 25))
+        heap_orderer = DynamicOrderer(num_instances)
+        scan_orderer = ScanDrainDynamicOrderer(num_instances)
+        for step, blk in enumerate(blocks):
+            now = float(step)
+            newly_heap = heap_orderer.add_partially_committed(blk, now=now)
+            newly_scan = scan_orderer.add_partially_committed(blk, now=now)
+            assert [(c.block.block_id, c.sn, c.confirmed_at) for c in newly_heap] == [
+                (c.block.block_id, c.sn, c.confirmed_at) for c in newly_scan
+            ]
+        assert [(c.block.block_id, c.sn) for c in heap_orderer.confirmed] == [
+            (c.block.block_id, c.sn) for c in scan_orderer.confirmed
+        ]
+        assert heap_orderer.pending_count == scan_orderer.pending_count
+        assert [b.block_id for b in heap_orderer.unconfirmed_blocks()] == [
+            b.block_id for b in scan_orderer.unconfirmed_blocks()
+        ]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_confirmed_follows_precedence_order(self, seed):
+        blocks = random_workload(seed, num_instances=4, rounds=20)
+        orderer = DynamicOrderer(4)
+        for step, blk in enumerate(blocks):
+            orderer.add_partially_committed(blk, now=float(step))
+        keys = [ordering_key(c.block) for c in orderer.confirmed]
+        assert keys == sorted(keys)
+        assert [c.sn for c in orderer.confirmed] == list(range(len(keys)))
+
+    def test_duplicate_delivery_keeps_heap_consistent(self):
+        orderer = DynamicOrderer(2)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.0)
+        orderer.add_partially_committed(block(0, 1, 0), now=1.5)  # duplicate
+        orderer.add_partially_committed(block(1, 1, 1), now=2.0)
+        assert [c.block.block_id for c in orderer.confirmed] == [BlockId(0, 1)]
+        assert orderer.pending_count == 1
+
+
 class TestPredeterminedOrderer:
     def test_global_index_layout(self):
         orderer = PredeterminedOrderer(num_instances=3)
@@ -198,6 +269,18 @@ class TestPredeterminedOrderer:
         orderer = PredeterminedOrderer(num_instances=2)
         orderer.add_partially_committed(block(1, 1, 0), now=1.0)
         assert orderer.pending_count == 1
+
+    def test_hole_count_incremental(self):
+        orderer = PredeterminedOrderer(num_instances=3)
+        assert orderer.hole_count() == 0
+        orderer.add_partially_committed(block(2, 2, 0), now=1.0)  # index 5
+        assert orderer.hole_count() == 5  # indices 0-4 missing
+        orderer.add_partially_committed(block(0, 1, 0), now=2.0)  # index 0 drains
+        assert orderer.hole_count() == 4  # indices 1-4 missing
+        for blk in (block(1, 1, 0), block(2, 1, 0), block(0, 2, 0), block(1, 2, 0)):
+            orderer.add_partially_committed(blk, now=3.0)
+        assert orderer.pending_count == 0
+        assert orderer.hole_count() == 0
 
 
 class TestDQBFTOrderer:

@@ -68,6 +68,28 @@ class TestEventQueue:
         assert queue.peek_time() is None
         assert not queue
 
+    def test_cancel_after_pop_does_not_corrupt_live_count(self):
+        # Regression: a late cancel() on an already-popped event used to
+        # decrement the live count a second time, driving it negative and
+        # making the queue report empty while events remained.
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        queue.cancel(event)  # late cancel of the delivered event
+        assert len(queue) == 1
+        assert queue  # the t=2.0 event is still live
+        assert queue.pop().time == 2.0
+
+    def test_cancel_twice_decrements_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
 
 class TestSimulator:
     def test_schedule_and_run(self):
@@ -123,6 +145,58 @@ class TestSimulator:
             sim.schedule_at(float(i + 1), lambda: None)
         sim.run(max_events=3)
         assert sim.events_processed == 3
+
+    def test_max_events_break_does_not_fast_forward_clock(self):
+        # Regression: breaking on max_events used to advance the clock to
+        # ``until`` even though events remained in the queue, so the next
+        # run() processed them "in the past".
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule_at(float(i + 1), lambda i=i: fired.append((i, sim.now())))
+        sim.run(until=100.0, max_events=2)
+        assert sim.now() == 2.0  # clock stays at the last processed event
+        sim.run(until=100.0)
+        # The remaining events fire at their scheduled (future) times.
+        assert fired == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0)]
+        assert sim.now() == 100.0  # queue drained: now the horizon applies
+
+    def test_run_until_fast_forwards_when_drained(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+
+    def test_direct_event_cancel_still_fast_forwards(self):
+        # Timers cancel their events directly (Event.cancel), bypassing
+        # EventQueue.cancel; the live count must reconcile lazily so
+        # run(until=...) still recognises a drained queue and fast-forwards.
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        event.cancel()
+        assert sim.run(until=10.0) == 10.0
+        assert len(sim.queue) == 0
+
+    def test_direct_then_queue_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()  # direct cancel: reconciled lazily
+        queue.cancel(event)  # then the queue-level cancel must not double count
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_late_cancel_does_not_end_run_early(self):
+        # Regression companion to the EventQueue fix: cancelling an event
+        # that already fired must not make the run loop believe the queue
+        # drained while live events remain.
+        sim = Simulator()
+        fired = []
+        first = sim.schedule_at(1.0, lambda: fired.append("first"))
+        sim.schedule_at(2.0, lambda: (sim.cancel(first), fired.append("second")))
+        sim.schedule_at(3.0, lambda: fired.append("third"))
+        sim.run()
+        assert fired == ["first", "second", "third"]
 
     def test_step(self):
         sim = Simulator()

@@ -1,0 +1,172 @@
+"""Tests for the parallel sweep runner: grid expansion, caching, parallelism."""
+
+import json
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.config import ExperimentCell
+from repro.bench.sweep import (
+    SweepCache,
+    SweepRunner,
+    cell_key,
+    derive_seed,
+    expand_grid,
+)
+
+
+ANALYTICAL = dict(duration=30.0, engine="analytical", seed=0)
+
+
+class TestExpandGrid:
+    def test_nested_loop_order(self):
+        cells = expand_grid(
+            {"environment": ("wan", "lan"), "n": (8, 16)},
+            defaults=dict(protocol="iss-pbft", **ANALYTICAL),
+        )
+        combos = [(c.environment, c.n) for c in cells]
+        assert combos == [("wan", 8), ("wan", 16), ("lan", 8), ("lan", 16)]
+
+    def test_defaults_applied(self):
+        cells = expand_grid({"n": (8,)}, defaults=dict(protocol="ladon-pbft", stragglers=2))
+        assert cells[0].protocol == "ladon-pbft"
+        assert cells[0].stragglers == 2
+
+    def test_axis_overrides_default(self):
+        cells = expand_grid({"n": (8,)}, defaults=dict(protocol="iss-pbft", n=4))
+        assert cells[0].n == 8
+
+
+class TestCellKey:
+    def test_stable_and_distinct(self):
+        a = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        b = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        c = ExperimentCell(protocol="iss-pbft", n=16, **ANALYTICAL)
+        assert cell_key(a) == cell_key(b)
+        assert cell_key(a) != cell_key(c)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(0, "fig5", 3) == derive_seed(0, "fig5", 3)
+        assert derive_seed(0, "fig5", 3) != derive_seed(1, "fig5", 3)
+
+
+class TestSweepCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cell = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        assert cache.get(cell) is None
+        cache.put(cell, {"throughput_tps": 1.5, "n": 8})
+        assert cache.get(cell) == {"throughput_tps": 1.5, "n": 8}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cell = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        cache.put(cell, {"n": 8})
+        path = cache._path(cell_key(cell))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(cell) is None
+
+
+class TestSweepRunner:
+    def _cells(self):
+        return expand_grid(
+            {"protocol": ("iss-pbft", "ladon-pbft"), "n": (8, 16)},
+            defaults=ANALYTICAL,
+        )
+
+    def test_sequential_rows_in_cell_order(self):
+        cells = self._cells()
+        rows = SweepRunner().run(cells)
+        assert [(r["protocol"], r["n"]) for r in rows] == [
+            (c.protocol, c.n) for c in cells
+        ]
+
+    def test_parallel_matches_sequential_byte_identical(self):
+        cells = self._cells()
+        sequential = SweepRunner().run(cells)
+        parallel = SweepRunner(workers=2).run(cells)
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(sequential, sort_keys=True)
+
+    def test_cache_hits_reproduce_rows(self, tmp_path):
+        cells = self._cells()
+        first = SweepRunner(cache_dir=str(tmp_path)).run(cells)
+        ticks = []
+        second = SweepRunner(cache_dir=str(tmp_path), progress=ticks.append).run(cells)
+        assert json.dumps(second) == json.dumps(first)
+        assert all(tick.source == "cache" for tick in ticks)
+        assert ticks[-1].cached == len(cells)
+
+    def test_duplicate_cells_run_once(self):
+        cell = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        ticks = []
+        rows = SweepRunner(progress=ticks.append).run([cell, cell, cell])
+        assert len(rows) == 3
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_duplicate_cell_rows_do_not_alias(self):
+        # Callers stamp per-position metadata into rows in place (e.g.
+        # table2's proposal_rate); coalesced duplicates must come back as
+        # independent dicts, matching what cache hits would return.
+        cell = ExperimentCell(protocol="iss-pbft", n=8, **ANALYTICAL)
+        rows = SweepRunner().run([cell, cell])
+        rows[0]["stamp"] = "first"
+        assert "stamp" not in rows[1]
+
+    def test_progress_streams_every_cell(self):
+        cells = self._cells()
+        ticks = []
+        SweepRunner(progress=ticks.append).run(cells)
+        assert [t.done for t in ticks] == [1, 2, 3, 4]
+        assert all(t.total == len(cells) for t in ticks)
+
+
+class TestExperimentsOnSweep:
+    def test_fig5_parallel_byte_identical_to_sequential(self):
+        kwargs = dict(
+            replica_counts=(8, 16),
+            protocols=("ladon-pbft", "iss-pbft"),
+            environments=("wan",),
+            straggler_counts=(0, 1),
+            duration=60.0,
+        )
+        sequential = experiments.fig5_scaling(**kwargs)
+        parallel = experiments.fig5_scaling(sweep=SweepRunner(workers=2), **kwargs)
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(sequential, sort_keys=True)
+
+    @pytest.mark.slow
+    def test_fig5_full_grid_parallel_byte_identical(self):
+        """Acceptance bar: the full 5x5x2x2 Fig. 5 grid through >=2 workers
+        produces byte-identical rows to the sequential path."""
+        sequential = experiments.fig5_scaling()
+        parallel = experiments.fig5_scaling(sweep=SweepRunner(workers=4))
+        assert len(sequential) == 5 * 5 * 2 * 2
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(sequential, sort_keys=True)
+
+    def test_fig7_split_preserved(self):
+        data = experiments.fig7_byzantine_stragglers(
+            straggler_counts=(0, 1), duration=30.0, sweep=SweepRunner()
+        )
+        assert len(data["honest"]) == 2
+        assert len(data["byzantine"]) == 2
+        assert all(row["stragglers"] == count for row, count in zip(data["honest"], (0, 1)))
+
+    def test_fig2b_keyed_by_straggler_count(self):
+        # Analytical stand-in grid shape check via fig6 (fig2b is DES/slow):
+        rows = experiments.fig6_straggler_count(
+            straggler_counts=(1, 2), protocols=("ladon-pbft",), duration=30.0
+        )
+        assert [row["stragglers"] for row in rows] == [1, 2]
+
+
+class TestInstancesLedBy:
+    def test_view_zero_one_instance_per_replica(self):
+        assert experiments.instances_led_by(replica=3, num_instances=4, n=4) == [3]
+
+    def test_view_rotation(self):
+        # In view 1, instance i's leader is (i + 1) % n: replica 0 leads
+        # instance n-1.
+        assert experiments.instances_led_by(replica=0, num_instances=4, n=4, view=1) == [3]
+
+    def test_more_instances_than_replicas(self):
+        assert experiments.instances_led_by(replica=1, num_instances=8, n=4) == [1, 5]

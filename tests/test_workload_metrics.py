@@ -139,6 +139,34 @@ class TestThroughput:
         with pytest.raises(ValueError):
             ThroughputSeries().record(0.0, -1)
 
+    def test_negative_time_clamped_into_bin_zero(self):
+        # Regression: negative timestamps used to land in negative bins that
+        # series() silently dropped while total_txs/peak() still counted them.
+        series = ThroughputSeries(bin_width=1.0)
+        series.record(-0.5, 10)
+        series.record(0.5, 5)
+        points = dict(series.series())
+        assert points[0.0] == 15
+        assert series.total_txs == 15
+        assert series.peak() == 15
+        assert sum(count for _, count in series.series()) == series.total_txs
+
+    def test_bin_zero_boundary(self):
+        series = ThroughputSeries(bin_width=2.0)
+        series.record(0.0, 3)
+        series.record(2.0, 4)  # exactly on a bin edge opens the next bin
+        points = dict(series.series())
+        assert points[0.0] == 1.5
+        assert points[2.0] == 2.0
+
+    def test_series_until_none_and_empty(self):
+        assert ThroughputSeries().series() == []
+        assert ThroughputSeries().series(until=None) == []
+
+    def test_series_negative_until_clamped(self):
+        series = ThroughputSeries()
+        assert series.series(until=-3.0) == [(0.0, 0.0)]
+
 
 class TestLatencyAccumulator:
     def test_weighted_average(self):
