@@ -5,11 +5,15 @@ Usage::
     python -m repro.bench list
     python -m repro.bench fig5 --workers 4
     python -m repro.bench table2 --cache-dir .sweep-cache --json out.json
+    python -m repro.bench scenario list
+    python -m repro.bench scenario run wan-partition --protocol ladon-pbft
+    python -m repro.bench scenario sweep --scenarios all --workers 4
 
 Each experiment name maps to the corresponding function in
-:mod:`repro.bench.experiments`; grid-shaped experiments run through a
-:class:`~repro.bench.sweep.SweepRunner` wired to the chosen worker count and
-cache directory, with per-cell progress streamed to stderr.
+:mod:`repro.bench.experiments`; grid-shaped experiments (and scenario
+sweeps) run through a :class:`~repro.bench.sweep.SweepRunner` wired to the
+chosen worker count and cache directory, with per-cell progress streamed to
+stderr.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench import experiments
+from repro.bench.config import ExperimentCell
 from repro.bench.report import format_series, format_table
 from repro.bench.sweep import SweepProgress, SweepRunner
 
@@ -101,7 +106,134 @@ def _print_result(name: str, result: object) -> None:
         print(json.dumps(result, indent=2, default=repr))
 
 
+# ------------------------------------------------------------- scenario CLI
+def _scenario_list() -> int:
+    from repro.scenario.registry import available_scenarios, get_scenario
+
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        print(f"{name:16s} [{spec.environment}] {spec.description or spec.describe()}")
+    return 0
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_des_cell
+    from repro.scenario.registry import get_scenario
+
+    spec = get_scenario(args.name)  # fail fast on unknown names
+    cell = ExperimentCell(
+        protocol=args.protocol,
+        n=args.n,
+        environment=spec.environment,
+        duration=args.duration,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        scenario=args.name,
+    )
+    result = run_des_cell(cell)
+    row = result.metrics.as_dict()
+    row["scenario"] = args.name
+    row["environment"] = spec.environment
+    print(format_table([row], columns=list(DEFAULT_COLUMNS) + ["scenario"],
+                       title=f"scenario {args.name}: {spec.description or spec.describe()}"))
+    if result.dynamics_log:
+        print("timeline:")
+        for time, kind, detail in result.dynamics_log:
+            print(f"  t={time:7.3f}s  {kind:12s} {detail}")
+    if args.json_path:
+        payload = {
+            "scenario": args.name,
+            "metrics": row,
+            "dynamics_log": result.dynamics_log,
+            "throughput_series": result.throughput_series,
+            "crash_log": result.crash_log,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=repr)
+    return 0
+
+
+def _scenario_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import expand_grid
+    from repro.scenario.registry import available_scenarios, get_scenario
+
+    names = (
+        available_scenarios()
+        if args.scenarios == "all"
+        else [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    )
+    for name in names:
+        get_scenario(name)  # fail fast on unknown names
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    cells = expand_grid(
+        {"scenario": names, "protocol": protocols},
+        defaults=dict(n=args.n, duration=args.duration, seed=args.seed,
+                      batch_size=args.batch_size),
+    )
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=None if args.quiet else _progress_printer(sys.stderr),
+    )
+    rows = runner.run(cells)
+    for cell, row in zip(cells, rows):
+        row["scenario"] = cell.scenario
+        row["environment"] = cell.effective_environment()
+    print(format_table(
+        rows,
+        columns=["scenario"] + [c for c in DEFAULT_COLUMNS if c != "stragglers"],
+        title=f"scenario sweep ({len(names)} scenarios x {len(protocols)} protocols)",
+    ))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2, default=repr)
+    return 0
+
+
+def scenario_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench scenario",
+        description="Run named scenarios through the DES engine and sweep harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered scenarios")
+
+    run_parser = sub.add_parser("run", help="run one scenario end-to-end")
+    run_parser.add_argument("name", help="scenario name (see 'scenario list')")
+    run_parser.add_argument("--protocol", default="ladon-pbft")
+    run_parser.add_argument("--n", type=int, default=8)
+    run_parser.add_argument("--duration", type=float, default=30.0)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--batch-size", type=int, default=1024)
+    run_parser.add_argument("--json", dest="json_path")
+
+    sweep_parser = sub.add_parser("sweep", help="grid of scenarios x protocols")
+    sweep_parser.add_argument("--scenarios", default="all",
+                              help="comma-separated names, or 'all' (default)")
+    sweep_parser.add_argument("--protocols", default="ladon-pbft,iss-pbft")
+    sweep_parser.add_argument("--n", type=int, default=8)
+    sweep_parser.add_argument("--duration", type=float, default=30.0)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--batch-size", type=int, default=1024)
+    sweep_parser.add_argument("--workers", type=int, default=1)
+    sweep_parser.add_argument("--cache-dir", default=".sweep-cache")
+    sweep_parser.add_argument("--no-cache", action="store_true")
+    sweep_parser.add_argument("--quiet", action="store_true")
+    sweep_parser.add_argument("--json", dest="json_path")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _scenario_list()
+    if args.command == "run":
+        return _scenario_run(args)
+    return _scenario_sweep(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures via the sweep harness.",
@@ -130,6 +262,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             suffix = " (sweepable)" if name in SWEEPABLE else ""
             print(f"{name:12s} {doc}{suffix}")
+        print("scenario     named-scenario engine: 'scenario list|run|sweep' (sweepable)")
         return 0
 
     fn = EXPERIMENTS[args.experiment]

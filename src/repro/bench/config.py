@@ -30,11 +30,26 @@ class ExperimentCell:
     seed: int = 0
     epoch_length: int = 64
     propose_timeout: Optional[float] = None
+    #: named scenario (see :mod:`repro.scenario.registry`); overrides
+    #: ``environment`` with the scenario's topology when set
+    scenario: Optional[str] = None
+
+    def scenario_spec(self):
+        """Resolve the named scenario, or None for the legacy presets."""
+        if self.scenario is None:
+            return None
+        from repro.scenario.registry import get_scenario
+
+        return get_scenario(self.scenario)
+
+    def effective_environment(self) -> str:
+        spec = self.scenario_spec()
+        return spec.environment if spec is not None else self.environment
 
     def block_rate(self) -> float:
         if self.total_block_rate is not None:
             return self.total_block_rate
-        return 32.0 if self.environment == "lan" else 16.0
+        return 32.0 if self.effective_environment() == "lan" else 16.0
 
     def to_system_config(self) -> SystemConfig:
         """Build the simulator configuration for the DES engine."""
@@ -55,15 +70,18 @@ class ExperimentCell:
             batch_size=self.batch_size,
             total_block_rate=self.block_rate(),
             epoch_length=self.epoch_length,
-            environment=self.environment,
+            environment=self.effective_environment(),
             duration=self.duration,
             seed=self.seed,
             faults=faults,
             propose_timeout=self.propose_timeout,
+            scenario=self.scenario_spec(),
         )
 
     def label(self) -> str:
         tag = f"{self.protocol}-n{self.n}-s{self.stragglers}"
         if self.byzantine:
             tag += "-byz"
+        if self.scenario is not None:
+            return f"{tag}-{self.scenario}"
         return f"{tag}-{self.environment}"

@@ -14,6 +14,11 @@ from repro.protocols.registry import build_system
 def run_cell(cell: ExperimentCell) -> RunMetrics:
     """Run one experiment cell and return its summary metrics."""
     if cell.engine == "analytical":
+        if cell.scenario is not None:
+            raise ValueError(
+                "scenarios run only on the DES engine; "
+                f"cell {cell.label()!r} sets engine='analytical'"
+            )
         config = AnalyticalConfig(
             protocol=cell.protocol,
             n=cell.n,

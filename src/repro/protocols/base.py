@@ -11,7 +11,7 @@ down if it is a straggler, and leaves its blocks empty if so.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TYPE_CHECKING
 
 from repro.consensus.base import InstanceConfig, InstanceContext
 from repro.consensus.checkpoint import CheckpointManager
@@ -31,7 +31,11 @@ from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Node
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.workload.generator import TrafficStream
 from repro.workload.transactions import Batch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.spec import ScenarioSpec
 
 
 NO_EPOCH_MAX_RANK = 2**62
@@ -47,7 +51,7 @@ class SystemConfig:
     batch_size: int = 4096
     total_block_rate: float = 16.0  # blocks per second across all instances
     epoch_length: int = 64
-    environment: str = "wan"  # "wan" or "lan"
+    environment: str = "wan"  # "wan" or "lan" (thin presets; see ``scenario``)
     duration: float = 30.0
     warmup: float = 0.0
     seed: int = 0
@@ -58,6 +62,9 @@ class SystemConfig:
     propose_timeout: Optional[float] = None
     bin_width: float = 1.0
     trace: bool = False
+    #: declarative scenario (topology + dynamics + traffic); None = the
+    #: legacy ``environment`` preset path, which stays byte-identical
+    scenario: Optional["ScenarioSpec"] = None
 
     def __post_init__(self) -> None:
         if self.n < 4:
@@ -77,9 +84,27 @@ class SystemConfig:
         return self.m / self.total_block_rate
 
     def latency_model(self) -> LatencyModel:
+        if self.scenario is not None:
+            return self.scenario.build_latency(self.n)
         if self.environment == "lan":
             return LanLatency()
         return WanLatency(self.n)
+
+    def network_config(self) -> NetworkConfig:
+        if self.scenario is not None:
+            return self.scenario.network_config(self.n)
+        return NetworkConfig()
+
+    def effective_faults(self) -> FaultConfig:
+        """``faults`` with the scenario's dynamics timeline merged in."""
+        if self.scenario is not None:
+            return self.scenario.fault_config(self.faults, self.n)
+        return self.faults
+
+    def build_traffic_stream(self) -> Optional[TrafficStream]:
+        if self.scenario is not None:
+            return self.scenario.build_traffic_stream(self.m, self.n)
+        return None
 
 
 @dataclass
@@ -94,6 +119,8 @@ class SystemResult:
     view_change_times: List[Tuple[float, int, int]]
     epoch_advancements: List[Tuple[float, int]]
     crash_log: List[Tuple[float, int, str]]
+    #: unified fault/dynamics timeline: (time, kind, detail)
+    dynamics_log: List[Tuple[float, str, str]] = field(default_factory=list)
 
 
 class ReplicaInstanceContext(InstanceContext):
@@ -150,6 +177,10 @@ class MultiBFTReplica(Node):
 
     #: set by subclasses
     uses_epochs: bool = False
+
+    #: set by the system when the scenario supplies a non-saturated traffic
+    #: profile; None keeps the legacy saturated-workload batch cutting
+    traffic_stream: Optional[TrafficStream] = None
 
     def __init__(
         self,
@@ -288,6 +319,15 @@ class MultiBFTReplica(Node):
         """
         if self._is_straggler():
             return Batch.empty()
+        if self.traffic_stream is not None:
+            count, mean_at = self.traffic_stream.take(
+                instance_id, self.now(), self.config.batch_size
+            )
+            if count == 0:
+                return Batch.empty()
+            return Batch.synthetic(
+                count, submitted_at=mean_at, payload_bytes=self.config.payload_bytes
+            )
         if self.config.synthetic_workload:
             # Under the saturated open-loop workload, the transactions in a
             # batch arrived uniformly during the interval since the previous
@@ -410,13 +450,20 @@ class MultiBFTSystem:
         self.network = Network(
             self.simulator,
             latency=config.latency_model(),
-            config=NetworkConfig(),
+            config=config.network_config(),
         )
         self.resources = ResourceModel()
+        self.effective_faults = config.effective_faults()
+        self.traffic_stream = config.build_traffic_stream()
         self.replicas: Dict[int, MultiBFTReplica] = {}
         for replica_id in range(config.n):
-            self.replicas[replica_id] = self.build_replica(replica_id)
-        self.fault_injector = FaultInjector(self.simulator, self.replicas, config.faults)
+            replica = self.build_replica(replica_id)
+            if self.traffic_stream is not None:
+                replica.traffic_stream = self.traffic_stream
+            self.replicas[replica_id] = replica
+        self.fault_injector = FaultInjector(
+            self.simulator, self.replicas, self.effective_faults, network=self.network
+        )
 
     # ------------------------------------------------------------- factories
     def build_replica(self, replica_id: int) -> MultiBFTReplica:
@@ -432,8 +479,8 @@ class MultiBFTSystem:
         reported numbers reflect an honest, live participant (as a client
         would observe).
         """
-        excluded = {spec.replica for spec in self.config.faults.stragglers}
-        excluded.update(spec.replica for spec in self.config.faults.crashes)
+        excluded = {spec.replica for spec in self.effective_faults.stragglers}
+        excluded.update(spec.replica for spec in self.effective_faults.crashes)
         for replica_id in range(self.config.n):
             if replica_id not in excluded:
                 return replica_id
@@ -476,4 +523,5 @@ class MultiBFTSystem:
             view_change_times=sorted(view_changes),
             epoch_advancements=epoch_log,
             crash_log=list(self.fault_injector.crash_log),
+            dynamics_log=list(self.fault_injector.event_log),
         )

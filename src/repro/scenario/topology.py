@@ -1,0 +1,169 @@
+"""Declarative deployment topologies.
+
+A :class:`TopologySpec` replaces the hardcoded ``environment="wan"|"lan"``
+string: it names the region set, the (possibly asymmetric) per-link one-way
+delay matrix, the replica-to-region placement, and optional per-region uplink
+bandwidth.  ``kind="wan"`` and ``kind="lan"`` reproduce the paper's two
+environments exactly (they build the original :class:`~repro.sim.latency.
+WanLatency` / :class:`~repro.sim.latency.LanLatency` models); ``kind=
+"custom"`` builds a :class:`~repro.sim.latency.TopologyLatency` from the
+spec's own matrix.
+
+Specs are frozen, tuple-field dataclasses so they hash, compare, and repr
+deterministically — sweep cache keys include them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.latency import (
+    DEFAULT_WAN_REGIONS,
+    INTRA_REGION_DELAY,
+    LanLatency,
+    LatencyModel,
+    TopologyLatency,
+    WanLatency,
+    _WAN_ONE_WAY_DELAY,
+)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A region/topology description.
+
+    ``links`` holds one-way delays as ``(src_region, dst_region, seconds)``
+    triples; with ``symmetric=True`` each triple also registers the reverse
+    direction unless overridden by an explicit reverse triple.  ``placement``
+    assigns replicas to regions explicitly (cycled when shorter than ``n``);
+    when empty, replicas are placed round-robin across ``regions`` exactly as
+    the paper distributes them.
+    """
+
+    kind: str = "wan"  # "wan" | "lan" | "custom"
+    regions: Tuple[str, ...] = ()
+    links: Tuple[Tuple[str, str, float], ...] = ()
+    jitter: float = 0.005
+    symmetric: bool = True
+    placement: Tuple[str, ...] = ()
+    default_delay: Optional[float] = None
+    #: per-region uplink bandwidth overrides, bytes/second
+    bandwidth_by_region: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("wan", "lan", "custom"):
+            raise ValueError("topology kind must be 'wan', 'lan' or 'custom'")
+        if self.kind == "custom" and not self.regions:
+            raise ValueError("custom topologies must name their regions")
+        if self.kind != "custom" and self.regions:
+            # The presets keep their canonical region sets; a different set
+            # would silently desynchronise placement from the preset delay
+            # matrix and latency model.
+            raise ValueError(
+                f"kind={self.kind!r} uses its fixed region set; "
+                "use kind='custom' for custom regions"
+            )
+        known = set(self.region_names())
+        for src, dst, delay in self.links:
+            if src not in known or dst not in known:
+                raise ValueError(f"link {src!r}->{dst!r} references unknown region")
+            if delay < 0:
+                raise ValueError(f"negative delay on link {src!r}->{dst!r}")
+        for region in self.placement:
+            if region not in known:
+                raise ValueError(f"placement references unknown region {region!r}")
+        for region, bandwidth in self.bandwidth_by_region:
+            if region not in known:
+                raise ValueError(f"bandwidth override for unknown region {region!r}")
+            if bandwidth <= 0:
+                raise ValueError(f"bandwidth for region {region!r} must be positive")
+
+    # -------------------------------------------------------------- presets
+    @classmethod
+    def wan(cls, jitter: float = 0.005) -> "TopologySpec":
+        """The paper's four-region WAN."""
+        return cls(kind="wan", jitter=jitter)
+
+    @classmethod
+    def lan(cls) -> "TopologySpec":
+        """The paper's single-datacenter LAN."""
+        return cls(kind="lan")
+
+    # ------------------------------------------------------------- geometry
+    def region_names(self) -> Tuple[str, ...]:
+        if self.regions:
+            return self.regions
+        if self.kind == "lan":
+            return ("lan",)
+        return tuple(region.name for region in DEFAULT_WAN_REGIONS)
+
+    def assignment(self, n: int) -> Tuple[str, ...]:
+        """Region of each replica ``0..n-1``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        pool = self.placement if self.placement else self.region_names()
+        return tuple(pool[i % len(pool)] for i in range(n))
+
+    def delay_matrix(self) -> Dict[Tuple[str, str], float]:
+        """The one-way delay matrix this spec describes (regions as keys)."""
+        if self.kind == "lan":
+            return {("lan", "lan"): INTRA_REGION_DELAY}
+        if self.kind == "wan" and not self.links:
+            return dict(_WAN_ONE_WAY_DELAY)
+        matrix: Dict[Tuple[str, str], float] = {}
+        for src, dst, delay in self.links:
+            matrix[(src, dst)] = delay
+            if self.symmetric:
+                matrix.setdefault((dst, src), delay)
+        for region in self.region_names():
+            matrix.setdefault((region, region), INTRA_REGION_DELAY)
+        return matrix
+
+    def delay_between(self, region_a: str, region_b: str) -> float:
+        """Base one-way delay ``region_a -> region_b`` (no jitter)."""
+        matrix = self.delay_matrix()
+        if (region_a, region_b) in matrix:
+            return matrix[(region_a, region_b)]
+        if self.symmetric and (region_b, region_a) in matrix:
+            return matrix[(region_b, region_a)]
+        if self.default_delay is not None:
+            return self.default_delay
+        raise KeyError(f"no delay registered for {region_a!r} -> {region_b!r}")
+
+    # ------------------------------------------------------------- builders
+    def build_latency(self, n: int) -> LatencyModel:
+        if self.kind == "lan":
+            return LanLatency()
+        if self.kind == "wan" and not self.links and not self.placement:
+            # Exactly the paper's model (preset equivalence relies on this).
+            return WanLatency(n, jitter=self.jitter)
+        return TopologyLatency(
+            assignment=self.assignment(n),
+            delays=self.delay_matrix(),
+            jitter=self.jitter,
+            symmetric=self.symmetric,
+            default_delay=self.default_delay,
+        )
+
+    def node_bandwidth(self, n: int) -> Optional[Dict[int, float]]:
+        """Per-replica uplink bandwidth overrides, or None when homogeneous."""
+        if not self.bandwidth_by_region:
+            return None
+        by_region = dict(self.bandwidth_by_region)
+        assignment = self.assignment(n)
+        overrides = {
+            replica: by_region[region]
+            for replica, region in enumerate(assignment)
+            if region in by_region
+        }
+        return overrides or None
+
+    def replicas_in_region(self, region: str, n: int) -> Tuple[int, ...]:
+        return tuple(
+            replica for replica, name in enumerate(self.assignment(n)) if name == region
+        )
+
+    def describe(self) -> str:
+        names = self.region_names()
+        return f"{self.kind}[{', '.join(names)}]"

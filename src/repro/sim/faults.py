@@ -1,4 +1,4 @@
-"""Fault and straggler injection.
+"""Fault, straggler, and network-dynamics injection.
 
 The evaluation distinguishes (Sec. 6.1 "Straggler settings"):
 
@@ -10,13 +10,22 @@ The evaluation distinguishes (Sec. 6.1 "Straggler settings"):
   and use only the lowest 2f+1 (Sec. 4.4, Appendix B case 3);
 * **crash faults** — a replica stops at a configured time; the instance it
   leads recovers through a view change (Fig. 8).
+
+Beyond the paper's settings, the scenario engine adds **network dynamics**:
+scheduled partitions (split/heal), link degradation windows, and message-loss
+bursts.  All of them — crashes included — are armed by one
+:class:`FaultInjector` onto a single simulator timeline, so a scenario is
+simply a set of declarative specs rather than ad-hoc wiring.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
 
 
 @dataclass(frozen=True)
@@ -46,12 +55,94 @@ class CrashSpec:
     recover_at: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Split the network into ``groups`` at ``at``; optionally heal later.
+
+    ``groups`` are tuples of replica ids; replicas absent from every group
+    are isolated for the duration.  Overlapping partitions are not modelled:
+    a later split replaces the active one, ``heal_at`` restores full
+    connectivity.
+    """
+
+    at: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("partition needs at least one group")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("heal must come after the split")
+        seen: set = set()
+        for group in self.groups:
+            for member in group:
+                if member in seen:
+                    raise ValueError(
+                        f"replica {member} appears in more than one partition group"
+                    )
+                seen.add(member)
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """Scale every link's propagation delay by ``factor`` during a window."""
+
+    at: float
+    until: float
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at:
+            raise ValueError("degradation window must have positive length")
+        if self.factor <= 0:
+            raise ValueError("degradation factor must be positive")
+
+
+@dataclass(frozen=True)
+class LossBurstSpec:
+    """Raise the uniform message-loss probability during a window."""
+
+    at: float
+    until: float
+    drop_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at:
+            raise ValueError("loss-burst window must have positive length")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+
+
+def _reject_overlaps(kind: str, windows: Sequence[Tuple[float, float]]) -> None:
+    ordered = sorted(windows)
+    for (_, prev_until), (next_at, _) in zip(ordered, ordered[1:]):
+        if next_at < prev_until:
+            raise ValueError(f"{kind} windows overlap (t={next_at} < t={prev_until})")
+
+
 @dataclass
 class FaultConfig:
-    """All fault injection for one experiment run."""
+    """All fault and network-dynamics injection for one experiment run."""
 
     stragglers: Tuple[StragglerSpec, ...] = ()
     crashes: Tuple[CrashSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    degradations: Tuple[DegradationSpec, ...] = ()
+    loss_bursts: Tuple[LossBurstSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # The straggler queries sit on the proposal hot path (every pacing
+        # tick); precompute the replica -> spec map instead of rescanning the
+        # tuple per call.
+        self._straggler_by_replica: Dict[int, StragglerSpec] = {
+            spec.replica: spec for spec in self.stragglers
+        }
+        # Degradation and loss-burst windows restore the pre-window state on
+        # expiry, so overlapping windows of one kind would quietly cancel each
+        # other — reject them up front.
+        _reject_overlaps("degradation", [(d.at, d.until) for d in self.degradations])
+        _reject_overlaps("loss-burst", [(b.at, b.until) for b in self.loss_bursts])
 
     @classmethod
     def with_stragglers(
@@ -78,38 +169,63 @@ class FaultConfig:
         return cls(stragglers=specs)
 
     def straggler_map(self) -> Dict[int, StragglerSpec]:
-        return {spec.replica: spec for spec in self.stragglers}
+        return dict(self._straggler_by_replica)
 
     def is_straggler(self, replica: int) -> bool:
-        return any(spec.replica == replica for spec in self.stragglers)
+        return replica in self._straggler_by_replica
 
     def is_byzantine(self, replica: int) -> bool:
-        return any(spec.replica == replica and spec.byzantine for spec in self.stragglers)
+        spec = self._straggler_by_replica.get(replica)
+        return spec is not None and spec.byzantine
 
     def slowdown_of(self, replica: int) -> float:
-        for spec in self.stragglers:
-            if spec.replica == replica:
-                return spec.slowdown
-        return 1.0
+        spec = self._straggler_by_replica.get(replica)
+        return spec.slowdown if spec is not None else 1.0
 
     def straggler_count(self) -> int:
         return len(self.stragglers)
 
+    def has_network_dynamics(self) -> bool:
+        return bool(self.partitions or self.degradations or self.loss_bursts)
+
 
 class FaultInjector:
-    """Schedules crash/recovery events against a set of nodes."""
+    """Arms crash/recovery and network-dynamics events on one timeline.
 
-    def __init__(self, simulator, nodes: Dict[int, "object"], config: FaultConfig) -> None:
+    Crash and recovery act on nodes; partitions, degradation windows, and
+    loss bursts act on the network (which must be supplied when any such
+    specs are configured).  Every fired event is appended to ``event_log``;
+    ``crash_log`` keeps the historical crash/recover-only view.
+    """
+
+    def __init__(
+        self,
+        simulator,
+        nodes: Dict[int, "object"],
+        config: FaultConfig,
+        network: Optional["Network"] = None,
+    ) -> None:
         self.simulator = simulator
         self.nodes = nodes
         self.config = config
+        self.network = network
         self.crash_log: List[Tuple[float, int, str]] = []
+        self.event_log: List[Tuple[float, str, str]] = []
 
     def arm(self) -> None:
-        """Install all configured crash/recovery events on the simulator."""
+        """Install all configured events on the simulator."""
         for spec in self.config.crashes:
             self._arm_crash(spec)
+        if self.config.has_network_dynamics() and self.network is None:
+            raise ValueError("network dynamics configured but no network supplied")
+        for partition in self.config.partitions:
+            self._arm_partition(partition)
+        for degradation in self.config.degradations:
+            self._arm_degradation(degradation)
+        for burst in self.config.loss_bursts:
+            self._arm_loss_burst(burst)
 
+    # ----------------------------------------------------------- node faults
     def _arm_crash(self, spec: CrashSpec) -> None:
         node = self.nodes.get(spec.replica)
         if node is None:
@@ -118,6 +234,7 @@ class FaultInjector:
         def _crash() -> None:
             node.crash()
             self.crash_log.append((self.simulator.now(), spec.replica, "crash"))
+            self.event_log.append((self.simulator.now(), "crash", f"replica={spec.replica}"))
 
         self.simulator.schedule_at(spec.at, _crash, label=f"crash:{spec.replica}")
 
@@ -128,7 +245,62 @@ class FaultInjector:
             def _recover() -> None:
                 node.recover()
                 self.crash_log.append((self.simulator.now(), spec.replica, "recover"))
+                self.event_log.append(
+                    (self.simulator.now(), "recover", f"replica={spec.replica}")
+                )
 
             self.simulator.schedule_at(
                 spec.recover_at, _recover, label=f"recover:{spec.replica}"
             )
+
+    # ------------------------------------------------------ network dynamics
+    def _arm_partition(self, spec: PartitionSpec) -> None:
+        network = self.network
+
+        def _split() -> None:
+            network.set_partition(spec.groups)
+            self.event_log.append(
+                (self.simulator.now(), "partition", f"groups={spec.groups}")
+            )
+
+        self.simulator.schedule_at(spec.at, _split, label="partition:split")
+        if spec.heal_at is not None:
+
+            def _heal() -> None:
+                network.heal_partition()
+                self.event_log.append((self.simulator.now(), "heal", ""))
+
+            self.simulator.schedule_at(spec.heal_at, _heal, label="partition:heal")
+
+    def _arm_degradation(self, spec: DegradationSpec) -> None:
+        network = self.network
+
+        def _begin() -> None:
+            network.set_latency_scale(spec.factor)
+            self.event_log.append(
+                (self.simulator.now(), "degrade", f"factor={spec.factor}")
+            )
+
+        def _end() -> None:
+            network.set_latency_scale(1.0)
+            self.event_log.append((self.simulator.now(), "degrade-end", ""))
+
+        self.simulator.schedule_at(spec.at, _begin, label="degrade:begin")
+        self.simulator.schedule_at(spec.until, _end, label="degrade:end")
+
+    def _arm_loss_burst(self, spec: LossBurstSpec) -> None:
+        network = self.network
+        baseline = network.config.drop_probability
+
+        def _begin() -> None:
+            network.set_drop_probability(spec.drop_probability)
+            self.event_log.append(
+                (self.simulator.now(), "loss-burst", f"p={spec.drop_probability}")
+            )
+
+        def _end() -> None:
+            network.set_drop_probability(baseline)
+            self.event_log.append((self.simulator.now(), "loss-burst-end", ""))
+
+        self.simulator.schedule_at(spec.at, _begin, label="loss:begin")
+        self.simulator.schedule_at(spec.until, _end, label="loss:end")

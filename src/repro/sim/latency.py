@@ -10,8 +10,9 @@ term drawn from a seeded RNG so repeated sends do not synchronise artificially.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -20,6 +21,9 @@ class Region:
 
     name: str
 
+
+#: one-way delay between two nodes in the same region/datacenter (seconds)
+INTRA_REGION_DELAY = 0.0005
 
 DEFAULT_WAN_REGIONS: Tuple[Region, ...] = (
     Region("eu-west-3"),      # Paris, France
@@ -94,11 +98,14 @@ class WanLatency(LatencyModel):
         n: int,
         regions: Sequence[Region] = DEFAULT_WAN_REGIONS,
         jitter: float = 0.005,
+        default_delay: Optional[float] = 0.100,
     ) -> None:
         if n <= 0:
             raise ValueError("n must be positive")
         self.regions: Tuple[Region, ...] = tuple(regions)
         self.jitter = jitter
+        self.default_delay = default_delay
+        self._warned_pairs: set = set()
         self._assignment: List[str] = [
             self.regions[i % len(self.regions)].name for i in range(n)
         ]
@@ -113,8 +120,23 @@ class WanLatency(LatencyModel):
         key = (region_b, region_a)
         if key in _WAN_ONE_WAY_DELAY:
             return _WAN_ONE_WAY_DELAY[key]
-        # Unknown custom region pair: assume a generic intercontinental delay.
-        return 0.100
+        # Unregistered region pair: custom topologies should use
+        # TopologyLatency (or pass default_delay explicitly) — fail loudly
+        # instead of silently handing out a made-up number.
+        if self.default_delay is None:
+            raise KeyError(
+                f"no WAN delay registered for region pair {region_a!r} <-> {region_b!r}"
+            )
+        pair = (min(region_a, region_b), max(region_a, region_b))
+        if pair not in self._warned_pairs:
+            self._warned_pairs.add(pair)
+            warnings.warn(
+                f"WanLatency: unregistered region pair {region_a!r} <-> {region_b!r}; "
+                f"falling back to default_delay={self.default_delay}s "
+                "(use TopologyLatency for custom topologies)",
+                stacklevel=3,
+            )
+        return self.default_delay
 
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         if sender == receiver:
@@ -124,3 +146,71 @@ class WanLatency(LatencyModel):
 
     def describe(self) -> str:
         return f"WAN({len(self.regions)} regions)"
+
+
+class TopologyLatency(LatencyModel):
+    """Arbitrary region topology: explicit placement and a per-link delay matrix.
+
+    Generalises :class:`WanLatency` to any region set: the delay matrix may be
+    asymmetric (``(a, b)`` and ``(b, a)`` can differ — satellite uplinks,
+    policy-routed paths), placement is an explicit per-replica region list,
+    and unknown pairs raise unless ``default_delay`` is given, so custom
+    topologies fail loudly rather than silently getting a canned number.
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[str],
+        delays: Mapping[Tuple[str, str], float],
+        jitter: float = 0.005,
+        symmetric: bool = True,
+        default_delay: Optional[float] = None,
+    ) -> None:
+        if not assignment:
+            raise ValueError("assignment must name a region per replica")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._assignment: Tuple[str, ...] = tuple(assignment)
+        self.jitter = jitter
+        self.symmetric = symmetric
+        self.default_delay = default_delay
+        self._delays: Dict[Tuple[str, str], float] = {}
+        for (a, b), value in dict(delays).items():
+            if value < 0:
+                raise ValueError(f"negative delay for link {a!r}->{b!r}")
+            self._delays[(a, b)] = value
+            if symmetric:
+                self._delays.setdefault((b, a), value)
+        for region in set(self._assignment):
+            self._delays.setdefault((region, region), INTRA_REGION_DELAY)
+
+    @property
+    def regions(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for name in self._assignment:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def region_of(self, replica: int) -> str:
+        return self._assignment[replica]
+
+    def _base_delay(self, region_a: str, region_b: str) -> float:
+        try:
+            return self._delays[(region_a, region_b)]
+        except KeyError:
+            if self.default_delay is not None:
+                return self.default_delay
+            raise KeyError(
+                f"no delay registered for link {region_a!r} -> {region_b!r}"
+            ) from None
+
+    def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
+        if sender == receiver:
+            return 0.0
+        base = self._base_delay(self.region_of(sender), self.region_of(receiver))
+        return base + (rng.random() * self.jitter if self.jitter else 0.0)
+
+    def describe(self) -> str:
+        kind = "sym" if self.symmetric else "asym"
+        return f"Topology({len(self.regions)} regions, {kind})"

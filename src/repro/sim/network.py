@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.sim.latency import LatencyModel, UniformLatency
 
@@ -30,6 +30,13 @@ class NetworkConfig:
     drop_probability: float = 0.0
     processing_delay: float = 0.00002  # per-message handling cost at receiver
     duplicate_probability: float = 0.0
+    #: heterogeneous deployments: per-node uplink bandwidth overrides
+    node_bandwidth: Optional[Dict[int, float]] = None
+
+    def bandwidth_of(self, node_id: int) -> float:
+        if self.node_bandwidth:
+            return self.node_bandwidth.get(node_id, self.bandwidth_bytes_per_s)
+        return self.bandwidth_bytes_per_s
 
 
 @dataclass
@@ -39,6 +46,8 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_duplicated: int = 0
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
     bytes_sent: int = 0
     bytes_per_node: Dict[int, int] = field(default_factory=dict)
     messages_per_node: Dict[int, int] = field(default_factory=dict)
@@ -48,6 +57,10 @@ class NetworkStats:
         self.bytes_sent += size
         self.bytes_per_node[sender] = self.bytes_per_node.get(sender, 0) + size
         self.messages_per_node[sender] = self.messages_per_node.get(sender, 0) + 1
+
+    def record_drop(self, cause: str) -> None:
+        self.messages_dropped += 1
+        self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
 
 
 class Network:
@@ -71,6 +84,8 @@ class Network:
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
         self._uplink_free_at: Dict[int, float] = {}
         self._link_filter: Optional[Callable[[int, int], bool]] = None
+        self._partition_group: Optional[Dict[int, int]] = None
+        self._latency_scale: float = 1.0
         self._rng = random.Random(simulator.rng.randint(0, 2**31 - 1))
 
     # --------------------------------------------------------- registration
@@ -88,30 +103,95 @@ class Network:
         """Install a predicate(sender, receiver) -> deliverable? (None = all)."""
         self._link_filter = predicate
 
+    # ------------------------------------------------------ network dynamics
+    def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Partition the network into ``groups`` of mutually reachable nodes.
+
+        Messages crossing group boundaries are dropped; nodes absent from
+        every group are isolated.  The partition composes with (does not
+        replace) any installed link filter.
+        """
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in mapping:
+                    raise ValueError(f"node {node} appears in more than one group")
+                mapping[node] = index
+        self._partition_group = mapping
+
+    def heal_partition(self) -> None:
+        """Remove the active partition (all links reachable again)."""
+        self._partition_group = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_group is not None
+
+    def set_latency_scale(self, factor: float) -> None:
+        """Scale all propagation delays (link degradation; 1.0 = nominal)."""
+        if factor <= 0:
+            raise ValueError("latency scale must be positive")
+        self._latency_scale = factor
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the uniform message-loss probability (loss bursts)."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.config.drop_probability = probability
+
+    def _partition_blocks(self, sender: int, receiver: int) -> bool:
+        if self._partition_group is None:
+            return False
+        groups = self._partition_group
+        sender_group = groups.get(sender)
+        receiver_group = groups.get(receiver)
+        return sender_group is None or receiver_group is None or sender_group != receiver_group
+
     # --------------------------------------------------------------- sending
     def send(self, sender: int, receiver: int, message: Any, size_bytes: int = 0) -> None:
         """Send one message; loopback messages are delivered with zero latency."""
         self.stats.record_send(sender, size_bytes)
         if self._link_filter is not None and not self._link_filter(sender, receiver):
-            self.stats.messages_dropped += 1
+            self.stats.record_drop("link-filter")
+            return
+        if self._partition_blocks(sender, receiver):
+            self.stats.record_drop("partition")
             return
         if self.config.drop_probability and self._rng.random() < self.config.drop_probability:
-            self.stats.messages_dropped += 1
+            self.stats.record_drop("loss")
             return
 
         now = self.simulator.now()
-        transmission = size_bytes / self.config.bandwidth_bytes_per_s if size_bytes else 0.0
+        transmission = (
+            size_bytes / self.config.bandwidth_of(sender) if size_bytes else 0.0
+        )
         # Serialise on the sender's uplink.
         uplink_free = max(self._uplink_free_at.get(sender, 0.0), now)
         departure = uplink_free + transmission
         self._uplink_free_at[sender] = departure
-        propagation = self.latency.delay(sender, receiver, self._rng)
+        propagation = self.latency.delay(sender, receiver, self._rng) * self._latency_scale
         arrival = departure + propagation + self.config.processing_delay
+        self._schedule_delivery(sender, receiver, message, arrival)
 
+        if (
+            self.config.duplicate_probability
+            and self._rng.random() < self.config.duplicate_probability
+        ):
+            # Duplicate delivery: same payload arrives a second time after an
+            # independent propagation delay (retransmission/route flap model).
+            self.stats.messages_duplicated += 1
+            extra = self.latency.delay(sender, receiver, self._rng) * self._latency_scale
+            self._schedule_delivery(
+                sender, receiver, message, departure + extra + self.config.processing_delay
+            )
+
+    def _schedule_delivery(
+        self, sender: int, receiver: int, message: Any, arrival: float
+    ) -> None:
         def _deliver() -> None:
             handler = self._handlers.get(receiver)
             if handler is None:
-                self.stats.messages_dropped += 1
+                self.stats.record_drop("unregistered")
                 return
             self.stats.messages_delivered += 1
             handler(sender, message)

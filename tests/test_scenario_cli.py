@@ -1,0 +1,62 @@
+"""CLI self-checks for ``python -m repro.bench scenario``."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+pytestmark = pytest.mark.scenario
+
+
+class TestScenarioCLI:
+    def test_scenario_list_exits_zero(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wan-partition", "regional-outage", "flash-crowd",
+                     "asymmetric-wan", "lossy-lan", "churn"):
+            assert name in out
+
+    def test_experiment_list_mentions_scenario(self, capsys):
+        assert main(["list"]) == 0
+        assert "scenario" in capsys.readouterr().out
+
+    def test_scenario_run_single(self, capsys, tmp_path):
+        json_path = tmp_path / "out.json"
+        code = main([
+            "scenario", "run", "lossy-lan",
+            "--n", "4", "--duration", "6", "--batch-size", "64",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lossy-lan" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["scenario"] == "lossy-lan"
+        assert payload["metrics"]["confirmed_blocks"] > 0
+
+    def test_scenario_run_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            main(["scenario", "run", "no-such-scenario"])
+
+    @pytest.mark.slow
+    def test_every_named_scenario_runs_via_cli(self, capsys):
+        from repro.scenario import available_scenarios
+
+        for name in available_scenarios():
+            assert main([
+                "scenario", "run", name,
+                "--n", "4", "--duration", "10", "--batch-size", "64",
+            ]) == 0
+        assert "confirmed_blocks" in capsys.readouterr().out
+
+    def test_scenario_sweep_small_grid(self, capsys, tmp_path):
+        code = main([
+            "scenario", "sweep",
+            "--scenarios", "lan,lossy-lan", "--protocols", "ladon-pbft",
+            "--n", "4", "--duration", "6", "--batch-size", "64",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lossy-lan" in out and "lan" in out

@@ -2,8 +2,17 @@
 
 import pytest
 
-from repro.sim.faults import CrashSpec, FaultConfig, FaultInjector, StragglerSpec
-from repro.sim.network import Network
+from repro.sim.faults import (
+    CrashSpec,
+    DegradationSpec,
+    FaultConfig,
+    FaultInjector,
+    LossBurstSpec,
+    PartitionSpec,
+    StragglerSpec,
+)
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.latency import UniformLatency
 from repro.sim.node import Node
 from repro.sim.simulator import Simulator
 
@@ -50,6 +59,22 @@ class TestFaultConfig:
         config = FaultConfig.with_stragglers(2, 8, byzantine=True, seed=0)
         assert all(s.byzantine for s in config.stragglers)
 
+    def test_straggler_map_precomputed(self):
+        specs = tuple(StragglerSpec(replica=r, slowdown=4.0) for r in range(50))
+        config = FaultConfig(stragglers=specs)
+        assert config.straggler_map() == {r: specs[r] for r in range(50)}
+        # The queries go through the precomputed dict, not a tuple scan.
+        assert config._straggler_by_replica[49] is specs[49]
+        assert config.slowdown_of(49) == 4.0
+        assert not config.is_straggler(50)
+
+    def test_dataclasses_replace_rebuilds_map(self):
+        from dataclasses import replace
+
+        config = FaultConfig(stragglers=(StragglerSpec(replica=1),))
+        updated = replace(config, stragglers=(StragglerSpec(replica=2),))
+        assert updated.is_straggler(2) and not updated.is_straggler(1)
+
 
 class _DummyNode(Node):
     def on_message(self, sender, message):
@@ -88,3 +113,139 @@ class TestFaultInjector:
         injector = FaultInjector(sim, nodes, FaultConfig(crashes=(CrashSpec(replica=7, at=1.0),)))
         with pytest.raises(KeyError):
             injector.arm()
+
+
+class _Echo(Node):
+    def __init__(self, node_id, simulator, network):
+        super().__init__(node_id, simulator, network)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.now(), sender, message))
+
+
+class TestNetworkDynamicsInjection:
+    def _build(self, config):
+        sim = Simulator(seed=0)
+        net = Network(
+            sim,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            config=NetworkConfig(processing_delay=0.0),
+        )
+        nodes = {i: _Echo(i, sim, net) for i in range(4)}
+        injector = FaultInjector(sim, nodes, config, network=net)
+        injector.arm()
+        return sim, net, nodes, injector
+
+    def test_network_required_for_dynamics(self):
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        nodes = {i: _DummyNode(i, sim, net) for i in range(4)}
+        config = FaultConfig(partitions=(PartitionSpec(at=1.0, groups=((0, 1), (2, 3))),))
+        injector = FaultInjector(sim, nodes, config)
+        with pytest.raises(ValueError):
+            injector.arm()
+
+    def test_partition_split_and_heal_transitions(self):
+        config = FaultConfig(
+            partitions=(PartitionSpec(at=1.0, groups=((0, 1), (2, 3)), heal_at=3.0),)
+        )
+        sim, net, nodes, injector = self._build(config)
+        # Before the split: cross-group traffic flows.
+        net.send(0, 2, "before")
+        sim.run(until=2.0)
+        assert net.partitioned
+        net.send(0, 2, "during")
+        sim.run(until=4.0)
+        assert not net.partitioned
+        net.send(0, 2, "after")
+        sim.run()
+        assert [m for _, _, m in nodes[2].received] == ["before", "after"]
+        assert [(t, kind) for t, kind, _ in injector.event_log] == [
+            (1.0, "partition"), (3.0, "heal"),
+        ]
+
+    def test_permanent_partition_never_heals(self):
+        config = FaultConfig(partitions=(PartitionSpec(at=1.0, groups=((0, 1), (2, 3))),))
+        sim, net, _, _ = self._build(config)
+        sim.run(until=100.0)
+        assert net.partitioned
+
+    def test_degradation_window_scales_and_restores(self):
+        config = FaultConfig(degradations=(DegradationSpec(at=1.0, until=2.0, factor=5.0),))
+        sim, net, nodes, _ = self._build(config)
+        sim.run(until=1.5)
+        net.send(0, 1, "degraded")
+        sim.run(until=2.5)
+        net.send(0, 1, "nominal")
+        sim.run()
+        received = {m: t for t, _, m in nodes[1].received}
+        assert received["degraded"] - 1.5 == pytest.approx(0.05)
+        assert received["nominal"] - 2.5 == pytest.approx(0.01)
+
+    def test_loss_burst_restores_baseline(self):
+        config = FaultConfig(loss_bursts=(LossBurstSpec(at=1.0, until=2.0, drop_probability=0.9),))
+        sim, net, _, injector = self._build(config)
+        sim.run()
+        assert net.config.drop_probability == 0.0
+        assert [kind for _, kind, _ in injector.event_log] == ["loss-burst", "loss-burst-end"]
+
+    def test_crash_and_partition_share_one_timeline(self):
+        config = FaultConfig(
+            crashes=(CrashSpec(replica=3, at=0.5),),
+            partitions=(PartitionSpec(at=1.0, groups=((0, 1), (2, 3)), heal_at=2.0),),
+        )
+        sim, _, nodes, injector = self._build(config)
+        sim.run()
+        assert nodes[3].crashed
+        assert [kind for _, kind, _ in injector.event_log] == ["crash", "partition", "heal"]
+        assert injector.crash_log == [(0.5, 3, "crash")]
+
+
+class TestSpecValidation:
+    def test_partition_heal_before_split_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(at=5.0, groups=((0,),), heal_at=4.0)
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(at=1.0, groups=())
+
+    def test_degradation_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DegradationSpec(at=2.0, until=2.0)
+
+    def test_loss_burst_probability_bounds(self):
+        with pytest.raises(ValueError):
+            LossBurstSpec(at=1.0, until=2.0, drop_probability=1.0)
+
+    def test_partition_groups_must_be_disjoint_at_spec_time(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(at=1.0, groups=((0, 1), (1, 2)))
+
+    def test_overlapping_degradation_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(
+                degradations=(
+                    DegradationSpec(at=1.0, until=10.0, factor=4.0),
+                    DegradationSpec(at=5.0, until=6.0, factor=8.0),
+                )
+            )
+
+    def test_overlapping_loss_bursts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(
+                loss_bursts=(
+                    LossBurstSpec(at=1.0, until=4.0),
+                    LossBurstSpec(at=3.0, until=5.0),
+                )
+            )
+
+    def test_back_to_back_windows_allowed(self):
+        config = FaultConfig(
+            degradations=(
+                DegradationSpec(at=1.0, until=2.0),
+                DegradationSpec(at=2.0, until=3.0),
+            )
+        )
+        assert len(config.degradations) == 2

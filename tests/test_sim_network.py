@@ -1,8 +1,17 @@
 """Tests for latency models, the network transport and nodes."""
 
+import contextlib
 import random
+import warnings
 
 import pytest
+
+
+@contextlib.contextmanager
+def warnings_none():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
 
 from repro.sim.latency import DEFAULT_WAN_REGIONS, LanLatency, UniformLatency, WanLatency
 from repro.sim.network import Network, NetworkConfig
@@ -49,6 +58,41 @@ class TestLatencyModels:
     def test_wan_rejects_bad_n(self):
         with pytest.raises(ValueError):
             WanLatency(0)
+
+    def test_wan_unknown_pair_warns_once_with_default(self):
+        from repro.sim.latency import Region
+
+        model = WanLatency(2, regions=(Region("atlantis"), Region("eu-west-3")), jitter=0.0)
+        rng = random.Random(0)
+        with pytest.warns(UserWarning, match="atlantis"):
+            assert model.delay(0, 1, rng) == pytest.approx(0.100)
+        with warnings_none():
+            model.delay(0, 1, rng)  # second lookup of the same pair is silent
+
+    def test_wan_unknown_pair_raises_when_strict(self):
+        from repro.sim.latency import Region
+
+        model = WanLatency(
+            2, regions=(Region("atlantis"), Region("eu-west-3")), default_delay=None
+        )
+        with pytest.raises(KeyError):
+            model.delay(0, 1, random.Random(0))
+
+    def test_topology_latency_asymmetric_and_strict(self):
+        from repro.sim.latency import TopologyLatency
+
+        model = TopologyLatency(
+            assignment=("a", "b"),
+            delays={("a", "b"): 0.02, ("b", "a"): 0.08},
+            jitter=0.0,
+            symmetric=False,
+        )
+        rng = random.Random(0)
+        assert model.delay(0, 1, rng) == pytest.approx(0.02)
+        assert model.delay(1, 0, rng) == pytest.approx(0.08)
+        strict = TopologyLatency(assignment=("a", "b"), delays={}, jitter=0.0)
+        with pytest.raises(KeyError):
+            strict.delay(0, 1, rng)
 
 
 class _Recorder(Node):
@@ -173,3 +217,193 @@ class TestNetwork:
         a.send(1, "x")
         sim.run()
         assert len(b.received) == 1
+
+    def test_link_filter_drop_accounting(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        c = _Recorder(2, sim, net)
+        net.set_link_filter(lambda s, r: r != 1)  # node 1 unreachable
+        net.send(0, 1, "lost", size_bytes=10)
+        net.send(0, 2, "ok", size_bytes=10)
+        sim.run()
+        # Every send is counted as sent (and in the byte totals) even when
+        # the link filter drops it; only deliveries reflect the filter.
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent == 20
+        assert net.stats.messages_dropped == 1
+        assert net.stats.drops_by_cause == {"link-filter": 1}
+        assert net.stats.messages_delivered == 1
+        assert b.received == [] and len(c.received) == 1
+
+    def test_multicast_serialises_on_single_uplink(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        receivers = [_Recorder(i, sim, net) for i in range(1, 4)]
+        big = 12_500_000  # 0.1 s at 1 Gbps
+        net.multicast(0, [1, 2, 3], "blob", size_bytes=big)
+        sim.run()
+        arrivals = sorted(node.received[0][0] for node in receivers)
+        # Copies queue behind each other on the sender's uplink: each later
+        # copy departs one full transmission time after the previous one.
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.1, rel=0.01)
+        assert arrivals[2] - arrivals[1] == pytest.approx(0.1, rel=0.01)
+
+    def test_per_node_bandwidth_override(self, sim_net):
+        sim, net = sim_net
+        _Recorder(0, sim, net)
+        _Recorder(1, sim, net)
+        b = _Recorder(2, sim, net)
+        net.config.node_bandwidth = {1: 12_500_000}  # 100 Mbps for node 1
+        size = 1_250_000  # 0.01 s at 1 Gbps, 0.1 s at 100 Mbps
+        net.send(0, 2, "fast", size_bytes=size)
+        net.send(1, 2, "slow", size_bytes=size)
+        sim.run()
+        times = {message: time for time, _, message in b.received}
+        assert times["slow"] - times["fast"] == pytest.approx(0.09, rel=0.05)
+
+
+class TestDuplicateDelivery:
+    def test_duplicates_delivered_and_counted(self):
+        sim = Simulator(seed=3)
+        net = Network(
+            sim,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            config=NetworkConfig(processing_delay=0.0, duplicate_probability=1.0),
+        )
+        _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        net.send(0, 1, "x")
+        sim.run()
+        assert len(b.received) == 2
+        assert net.stats.messages_duplicated == 1
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 2
+
+    def test_duplicate_injection_deterministic(self):
+        def run_once():
+            sim = Simulator(seed=9)
+            net = Network(
+                sim,
+                latency=UniformLatency(base=0.01, jitter=0.001),
+                config=NetworkConfig(processing_delay=0.0, duplicate_probability=0.5),
+            )
+            _Recorder(0, sim, net)
+            b = _Recorder(1, sim, net)
+            for i in range(50):
+                net.send(0, 1, i)
+            sim.run()
+            return [(round(t, 9), m) for t, _, m in b.received], net.stats.messages_duplicated
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        assert first[1] > 0  # some duplicates actually happened
+
+    def test_zero_probability_never_draws(self):
+        sim = Simulator(seed=3)
+        net = Network(
+            sim,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            config=NetworkConfig(processing_delay=0.0),
+        )
+        _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        net.send(0, 1, "x")
+        sim.run()
+        assert len(b.received) == 1
+        assert net.stats.messages_duplicated == 0
+
+
+class TestPartition:
+    def _net(self):
+        sim = Simulator(seed=1)
+        net = Network(
+            sim,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            config=NetworkConfig(processing_delay=0.0),
+        )
+        nodes = [_Recorder(i, sim, net) for i in range(4)]
+        return sim, net, nodes
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, net, nodes = self._net()
+        net.set_partition([(0, 1), (2, 3)])
+        net.send(0, 1, "same-group")
+        net.send(0, 2, "cross-group")
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert nodes[2].received == []
+        assert net.stats.drops_by_cause == {"partition": 1}
+
+    def test_heal_restores_full_connectivity(self):
+        sim, net, nodes = self._net()
+        net.set_partition([(0, 1), (2, 3)])
+        net.send(0, 2, "during")
+        sim.run()
+        net.heal_partition()
+        net.send(0, 2, "after")
+        sim.run()
+        assert [m for _, _, m in nodes[2].received] == ["after"]
+        assert not net.partitioned
+
+    def test_node_outside_every_group_is_isolated(self):
+        sim, net, nodes = self._net()
+        net.set_partition([(0, 1, 2)])  # node 3 in no group
+        net.send(0, 3, "to-isolated")
+        net.send(3, 0, "from-isolated")
+        sim.run()
+        assert nodes[3].received == []
+        assert nodes[0].received == []
+        assert net.stats.drops_by_cause == {"partition": 2}
+
+    def test_repartition_replaces_previous_split(self):
+        sim, net, nodes = self._net()
+        net.set_partition([(0, 1), (2, 3)])
+        net.set_partition([(0, 2), (1, 3)])
+        net.send(0, 2, "now-same-group")
+        net.send(0, 1, "now-cross-group")
+        sim.run()
+        assert len(nodes[2].received) == 1
+        assert nodes[1].received == []
+
+    def test_overlapping_groups_rejected(self):
+        _, net, _ = self._net()
+        with pytest.raises(ValueError):
+            net.set_partition([(0, 1), (1, 2)])
+
+    def test_partition_composes_with_link_filter(self):
+        sim, net, nodes = self._net()
+        net.set_link_filter(lambda s, r: r != 1)
+        net.set_partition([(0, 1), (2, 3)])
+        net.send(0, 1, "filtered")     # same group, but filter drops it
+        net.send(2, 3, "delivered")
+        sim.run()
+        assert nodes[1].received == []
+        assert len(nodes[3].received) == 1
+
+
+class TestDynamicControls:
+    def test_latency_scale_degrades_links(self):
+        sim = Simulator(seed=1)
+        net = Network(
+            sim,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            config=NetworkConfig(processing_delay=0.0),
+        )
+        _Recorder(0, sim, net)
+        b = _Recorder(1, sim, net)
+        net.set_latency_scale(4.0)
+        net.send(0, 1, "slow")
+        sim.run()
+        assert b.received[0][0] == pytest.approx(0.04)
+        with pytest.raises(ValueError):
+            net.set_latency_scale(0.0)
+
+    def test_drop_probability_setter_validates(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        net.set_drop_probability(0.5)
+        assert net.config.drop_probability == 0.5
+        with pytest.raises(ValueError):
+            net.set_drop_probability(1.5)

@@ -75,6 +75,40 @@ class TestWorkloadGenerator:
         with pytest.raises(ValueError):
             WorkloadConfig(arrival_rate_tps=0)
 
+    def test_open_loop_generator_with_profile_tracks_cumulative(self):
+        from repro.workload.generator import RampTraffic
+
+        profile = RampTraffic(start_tps=0.0, end_tps=100.0, ramp_duration=10.0)
+        generator = OpenLoopGenerator(
+            WorkloadConfig(num_clients=4, arrival_rate_tps=1.0), profile=profile
+        )
+        first = generator.transactions_until(5.0)   # integral: 125
+        second = generator.transactions_until(10.0)  # integral: 500
+        assert len(first) == 125
+        assert len(first) + len(second) == 500
+        times = [tx.submitted_at for tx in first + second]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 10.0 for t in times)
+
+    def test_open_loop_generator_zipf_skews_clients(self):
+        generator = OpenLoopGenerator(
+            WorkloadConfig(num_clients=8, arrival_rate_tps=1000.0, seed=2, zipf_s=1.2)
+        )
+        txs = generator.transactions_until(2.0)
+        counts = {}
+        for tx in txs:
+            counts[tx.client_id] = counts.get(tx.client_id, 0) + 1
+        assert counts[0] > counts.get(7, 0) * 2
+
+    def test_zipf_client_selection_deterministic(self):
+        def run():
+            generator = OpenLoopGenerator(
+                WorkloadConfig(num_clients=8, arrival_rate_tps=100.0, seed=5, zipf_s=0.9)
+            )
+            return [tx.client_id for tx in generator.transactions_until(1.0)]
+
+        assert run() == run()
+
 
 class TestClientPool:
     def test_latency_measured_from_submission(self):
