@@ -12,8 +12,12 @@ opportunity).
 Run with:  python examples/causality_frontrunning.py
 """
 
+import os
+
 from repro import FaultConfig, StragglerSpec, SystemConfig, build_system
 from repro.core.causality import count_causality_violations
+
+DURATION = 10.0 if os.environ.get("REPRO_FAST") else 30.0
 
 
 def run(protocol: str):
@@ -23,7 +27,7 @@ def run(protocol: str):
         batch_size=128,
         total_block_rate=16.0,
         environment="wan",
-        duration=30.0,
+        duration=DURATION,
         seed=11,
         faults=FaultConfig(stragglers=(StragglerSpec(replica=3, slowdown=10.0),)),
     )

@@ -8,7 +8,11 @@ throughput recovering once a new leader takes over the instance.
 Run with:  python examples/crash_recovery.py
 """
 
+import os
+
 from repro import CrashSpec, FaultConfig, SystemConfig, build_system
+
+DURATION = 20.0 if os.environ.get("REPRO_FAST") else 40.0
 from repro.bench.report import format_series
 
 
@@ -21,7 +25,7 @@ def main() -> None:
         batch_size=128,
         total_block_rate=16.0,
         environment="wan",
-        duration=40.0,
+        duration=DURATION,
         seed=5,
         faults=FaultConfig(crashes=(CrashSpec(replica=n - 1, at=crash_at),)),
         propose_timeout=5.0,

@@ -8,6 +8,8 @@ with and without a straggler — in seconds rather than hours.
 Run with:  python examples/protocol_comparison.py
 """
 
+import os
+
 from repro.bench.analytical import AnalyticalConfig, run_analytical
 from repro.bench.report import format_table
 
@@ -23,7 +25,7 @@ def main() -> None:
                         n=n,
                         stragglers=stragglers,
                         environment="wan",
-                        duration=240.0,
+                        duration=60.0 if os.environ.get("REPRO_FAST") else 240.0,
                         seed=1,
                     )
                 )

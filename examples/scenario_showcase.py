@@ -31,13 +31,15 @@ from repro.scenario import (
 )
 from repro.workload.generator import RampTraffic
 
+DURATION = 8.0 if os.environ.get("REPRO_FAST") else 20.0
+
 
 def run_named_scenarios():
     print("=== Built-in scenarios (ladon-pbft, n=8, 20s) ===")
     rows = []
     for name in ("wan", "wan-partition", "lossy-lan", "flash-crowd", "churn"):
         cell = ExperimentCell(
-            protocol="ladon-pbft", n=8, duration=20.0, batch_size=512, scenario=name,
+            protocol="ladon-pbft", n=8, duration=DURATION, batch_size=512, scenario=name,
             environment=get_scenario(name).environment,
         )
         result = run_des_cell(cell)
@@ -70,7 +72,7 @@ def run_custom_scenario():
                                                 ramp_duration=10.0)),
     )
     config = scenario.system_config(
-        protocol="ladon-pbft", n=6, duration=20.0, batch_size=512, seed=7
+        protocol="ladon-pbft", n=6, duration=DURATION, batch_size=512, seed=7
     )
     result = build_system(config).run()
     print(f"  confirmed {result.metrics.confirmed_blocks} blocks, "
@@ -85,7 +87,7 @@ def run_scenario_sweep():
     cells = expand_grid(
         {"scenario": ("wan", "wan-partition", "regional-outage"),
          "protocol": ("ladon-pbft", "iss-pbft")},
-        defaults=dict(n=8, duration=20.0, batch_size=512),
+        defaults=dict(n=8, duration=DURATION, batch_size=512),
     )
     rows = SweepRunner(workers=2).run(cells)
     for cell, row in zip(cells, rows):
@@ -97,9 +99,9 @@ def run_scenario_sweep():
 def show_partition_impact():
     print("\n=== Partition vs. static baseline (same seed) ===")
     baseline = run_des_cell(ExperimentCell(
-        protocol="ladon-pbft", n=8, duration=20.0, batch_size=512, scenario="wan"))
+        protocol="ladon-pbft", n=8, duration=DURATION, batch_size=512, scenario="wan"))
     partitioned = run_des_cell(ExperimentCell(
-        protocol="ladon-pbft", n=8, duration=20.0, batch_size=512, scenario="wan-partition"))
+        protocol="ladon-pbft", n=8, duration=DURATION, batch_size=512, scenario="wan-partition"))
     print(f"  static    : {baseline.metrics.confirmed_blocks} blocks confirmed")
     print(f"  partition : {partitioned.metrics.confirmed_blocks} blocks confirmed "
           "(split at t=8s, healed at t=16s)")

@@ -9,7 +9,11 @@ Ladon's dynamic ordering the other instances keep confirming.
 Run with:  python examples/straggler_resilience.py
 """
 
+import os
+
 from repro import FaultConfig, StragglerSpec, SystemConfig, build_system
+
+DURATION = 10.0 if os.environ.get("REPRO_FAST") else 30.0
 
 
 def run(protocol: str, stragglers: int) -> "tuple":
@@ -24,7 +28,7 @@ def run(protocol: str, stragglers: int) -> "tuple":
         batch_size=256,
         total_block_rate=16.0,
         environment="wan",
-        duration=30.0,
+        duration=DURATION,
         seed=3,
         faults=faults,
     )

@@ -11,6 +11,13 @@ Top-level convenience exports cover the most common entry points:
   figure of the paper's evaluation.
 """
 
+from repro.adversary import (
+    AdversarySpec,
+    DelayedVotes,
+    Equivocation,
+    RankManipulation,
+    Silence,
+)
 from repro.core import (
     Block,
     DynamicOrderer,
@@ -18,14 +25,22 @@ from repro.core import (
     DQBFTOrderer,
     causal_strength,
 )
+from repro.metrics import SafetyAuditReport, audit_system
 from repro.protocols import SystemConfig, build_system, available_protocols
 from repro.sim.faults import FaultConfig, StragglerSpec, CrashSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdversarySpec",
     "Block",
+    "DelayedVotes",
     "DynamicOrderer",
+    "Equivocation",
+    "RankManipulation",
+    "SafetyAuditReport",
+    "Silence",
+    "audit_system",
     "PredeterminedOrderer",
     "DQBFTOrderer",
     "causal_strength",

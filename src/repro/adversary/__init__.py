@@ -1,0 +1,50 @@
+"""Behaviour-based Byzantine adversary subsystem.
+
+The public surface:
+
+* the attack catalog (:class:`Equivocation`, :class:`Silence`,
+  :class:`DelayedVotes`, :class:`RankManipulation`) —
+  :mod:`repro.adversary.attacks`;
+* :class:`AdversarySpec` — a frozen, sweep-cache-keyed bundle of attacks
+  that composes into scenarios, experiment cells, and fault configs;
+* :class:`AdversaryInterceptor` — the per-node outbound message hook the
+  attacks act through;
+* the named registry (:func:`get_adversary`, :func:`register_adversary`,
+  :func:`available_adversaries`) behind ``python -m repro.bench adversary``.
+"""
+
+from repro.adversary.attacks import (
+    Attack,
+    DelayedVotes,
+    Equivocation,
+    MESSAGE_KINDS,
+    RankManipulation,
+    Silence,
+    forge_message,
+    forged_digest,
+    message_kind,
+)
+from repro.adversary.interceptor import AdversaryInterceptor
+from repro.adversary.registry import (
+    available_adversaries,
+    get_adversary,
+    register_adversary,
+)
+from repro.adversary.spec import AdversarySpec
+
+__all__ = [
+    "Attack",
+    "AdversaryInterceptor",
+    "AdversarySpec",
+    "DelayedVotes",
+    "Equivocation",
+    "MESSAGE_KINDS",
+    "RankManipulation",
+    "Silence",
+    "available_adversaries",
+    "forge_message",
+    "forged_digest",
+    "get_adversary",
+    "message_kind",
+    "register_adversary",
+]

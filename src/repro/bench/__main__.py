@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench scenario list
     python -m repro.bench scenario run wan-partition --protocol ladon-pbft
     python -m repro.bench scenario sweep --scenarios all --workers 4
+    python -m repro.bench adversary list
+    python -m repro.bench adversary run equivocation --n 4 --duration 20
 
 Each experiment name maps to the corresponding function in
 :mod:`repro.bench.experiments`; grid-shaped experiments (and scenario
@@ -106,6 +108,144 @@ def _print_result(name: str, result: object) -> None:
         print(json.dumps(result, indent=2, default=repr))
 
 
+# ------------------------------------------------------------ adversary CLI
+def _adversary_list() -> int:
+    from repro.adversary.attacks import MESSAGE_KINDS
+    from repro.adversary.registry import available_adversaries, get_adversary
+
+    print("attack catalog (compose with AdversarySpec; see repro.adversary):")
+    print("  equivocation       conflicting proposals/votes to disjoint replica sets")
+    print("  silence            selective suppression per target/kind/instance")
+    print("  delayed-votes      hold messages just under the view-change timeout")
+    print("  rank-manipulation  the paper's Byzantine straggler (Sec. 4.4)")
+    print(f"  message kinds: {', '.join(MESSAGE_KINDS)}")
+    print()
+    print("named adversaries (python -m repro.bench adversary run <name>):")
+    for name in available_adversaries():
+        spec = get_adversary(name)
+        print(f"  {name:24s} {spec.description or spec.describe()}")
+    print()
+    print("adversarial scenarios (python -m repro.bench scenario run byz-*):")
+    from repro.scenario.registry import available_scenarios, get_scenario
+
+    for name in available_scenarios():
+        if name.startswith("byz-"):
+            print(f"  {name:24s} {get_scenario(name).description}")
+    return 0
+
+
+def _audit_lines(result) -> List[str]:
+    lines = [f"audit: {result.audit.summary()}"]
+    for violation in result.audit.violations[:5]:
+        lines.append(f"  VIOLATION {violation}")
+    if len(result.audit.violations) > 5:
+        lines.append(f"  ... and {len(result.audit.violations) - 5} more")
+    return lines
+
+
+def _adversary_run(args: argparse.Namespace) -> int:
+    from repro.adversary.registry import get_adversary
+    from repro.bench.runner import run_des_cell
+
+    spec = get_adversary(args.name)  # fail fast on unknown names
+    common = dict(
+        protocol=args.protocol,
+        n=args.n,
+        duration=args.duration,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        scenario=args.scenario,
+    )
+    baseline_label = "honest"
+    if args.scenario is not None:
+        from repro.scenario.registry import get_scenario
+
+        if get_scenario(args.scenario).adversary is not None:
+            # The base scenario is itself adversarial: the comparison run is
+            # a baseline for the *extra* attack, not an honest deployment.
+            baseline_label = f"baseline ({args.scenario})"
+            print(
+                f"note: scenario {args.scenario!r} declares its own adversary; "
+                f"the comparison row is that scenario, not an honest run",
+                file=sys.stderr,
+            )
+    adversarial_cell = ExperimentCell(adversary=args.name, **common)
+    result = run_des_cell(adversarial_cell)
+    rows = []
+    if not args.no_baseline:
+        baseline = run_des_cell(ExperimentCell(**common))
+        row = baseline.metrics.as_dict()
+        row["run"] = baseline_label
+        rows.append(row)
+    row = result.metrics.as_dict()
+    row["run"] = args.name
+    rows.append(row)
+    columns = ["run"] + [c for c in DEFAULT_COLUMNS if c != "stragglers"]
+    columns += ["safety_violations", "stalled_instances"]
+    print(format_table(
+        rows,
+        columns=columns,
+        title=f"adversary {args.name}: {spec.description or spec.describe()}",
+    ))
+    for line in _audit_lines(result):
+        print(line)
+    if result.dynamics_log:
+        print("timeline:")
+        for time, kind, detail in result.dynamics_log:
+            print(f"  t={time:7.3f}s  {kind:28s} {detail}")
+    if args.json_path:
+        payload = {
+            "adversary": args.name,
+            "rows": rows,
+            "audit": {
+                "safety_ok": result.audit.safety_ok,
+                "violations": [str(v) for v in result.audit.violations],
+                "stalled_instances": list(result.audit.stalled_instances),
+                "honest_replicas": list(result.audit.honest_replicas),
+            },
+            "dynamics_log": result.dynamics_log,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=repr)
+    # exit 0 exactly when the auditor's verdict matches the expectation: a
+    # negative control (--expect-unsafe) that fails to break safety is a
+    # failure too.
+    return 0 if result.audit.safety_ok != args.expect_unsafe else 1
+
+
+def adversary_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench adversary",
+        description="Run catalog adversaries against an honest baseline, with audit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the attack catalog and named adversaries")
+
+    run_parser = sub.add_parser(
+        "run", help="run one named adversary and compare against the honest baseline"
+    )
+    run_parser.add_argument("name", help="adversary name (see 'adversary list')")
+    run_parser.add_argument("--protocol", default="ladon-pbft")
+    run_parser.add_argument("--n", type=int, default=4)
+    run_parser.add_argument("--duration", type=float, default=30.0)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--batch-size", type=int, default=1024)
+    run_parser.add_argument("--scenario", default=None,
+                            help="base scenario to attack (default: paper WAN preset)")
+    run_parser.add_argument("--no-baseline", action="store_true",
+                            help="skip the honest comparison run")
+    run_parser.add_argument("--expect-unsafe", action="store_true",
+                            help="exit 0 even when the auditor reports violations "
+                                 "(negative controls like equivocation-colluding)")
+    run_parser.add_argument("--json", dest="json_path")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _adversary_list()
+    return _adversary_run(args)
+
+
 # ------------------------------------------------------------- scenario CLI
 def _scenario_list() -> int:
     from repro.scenario.registry import available_scenarios, get_scenario
@@ -140,6 +280,8 @@ def _scenario_run(args: argparse.Namespace) -> int:
         print("timeline:")
         for time, kind, detail in result.dynamics_log:
             print(f"  t={time:7.3f}s  {kind:12s} {detail}")
+    for line in _audit_lines(result):
+        print(line)
     if args.json_path:
         payload = {
             "scenario": args.name,
@@ -234,6 +376,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenario":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "adversary":
+        return adversary_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures via the sweep harness.",
@@ -263,6 +407,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             suffix = " (sweepable)" if name in SWEEPABLE else ""
             print(f"{name:12s} {doc}{suffix}")
         print("scenario     named-scenario engine: 'scenario list|run|sweep' (sweepable)")
+        print("adversary    Byzantine attack catalog: 'adversary list|run'")
         return 0
 
     fn = EXPERIMENTS[args.experiment]

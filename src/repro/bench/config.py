@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.protocols.base import SystemConfig
@@ -33,6 +33,9 @@ class ExperimentCell:
     #: named scenario (see :mod:`repro.scenario.registry`); overrides
     #: ``environment`` with the scenario's topology when set
     scenario: Optional[str] = None
+    #: named adversary (see :mod:`repro.adversary.registry`), applied on top
+    #: of whatever the scenario configures; cache-keyed like ``scenario``
+    adversary: Optional[str] = None
 
     def scenario_spec(self):
         """Resolve the named scenario, or None for the legacy presets."""
@@ -41,6 +44,14 @@ class ExperimentCell:
         from repro.scenario.registry import get_scenario
 
         return get_scenario(self.scenario)
+
+    def adversary_spec(self):
+        """Resolve the named adversary, or None for an all-honest run."""
+        if self.adversary is None:
+            return None
+        from repro.adversary.registry import get_adversary
+
+        return get_adversary(self.adversary)
 
     def effective_environment(self) -> str:
         spec = self.scenario_spec()
@@ -64,6 +75,9 @@ class ExperimentCell:
             if self.stragglers
             else FaultConfig()
         )
+        adversary = self.adversary_spec()
+        if adversary is not None:
+            faults = replace(faults, adversary=adversary)
         return SystemConfig(
             protocol=self.protocol,
             n=self.n,
@@ -82,6 +96,8 @@ class ExperimentCell:
         tag = f"{self.protocol}-n{self.n}-s{self.stragglers}"
         if self.byzantine:
             tag += "-byz"
+        if self.adversary is not None:
+            tag += f"-adv:{self.adversary}"
         if self.scenario is not None:
             return f"{tag}-{self.scenario}"
         return f"{tag}-{self.environment}"

@@ -19,6 +19,11 @@ def run_cell(cell: ExperimentCell) -> RunMetrics:
                 "scenarios run only on the DES engine; "
                 f"cell {cell.label()!r} sets engine='analytical'"
             )
+        if cell.adversary is not None:
+            raise ValueError(
+                "adversaries run only on the DES engine; "
+                f"cell {cell.label()!r} sets engine='analytical'"
+            )
         config = AnalyticalConfig(
             protocol=cell.protocol,
             n=cell.n,

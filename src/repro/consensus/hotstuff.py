@@ -193,6 +193,8 @@ class HotStuffInstance(ConsensusInstance):
             proposer=target.proposer,
             proposed_at=target.proposed_at,
             committed_at=now,
+            # Consensus digest for the safety auditor (see PBFT commit path).
+            payload_digest=target.digest,
             tx_count_hint=target.tx_count,
             batch_submitted_at=target.batch_submitted_at,
         )

@@ -75,6 +75,11 @@ class LadonOptInstance(LadonPBFTInstance):
     # --------------------------------------------------------- rank validation
     def _validate_rank(self, message: PrePrepare) -> bool:
         """Verify the single aggregate instead of 2f+1 individual reports."""
+        if message.reproposal:
+            # New-view re-proposal: the old view's prepared certificate
+            # stands in for the aggregate rank proof.
+            self.context.record_crypto("verify")
+            return True
         if message.aggregated_rank_proof_bytes <= 0 and message.round != 1:
             return False
         self.context.record_crypto("verify_aggregate")

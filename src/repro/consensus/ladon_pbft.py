@@ -148,6 +148,12 @@ class LadonPBFTInstance(PBFTInstance):
 
     def _validate_rank(self, message: PrePrepare) -> bool:
         """Backup-side checks of the leader's rank calculation (Sec. 5.2.2)."""
+        if message.reproposal:
+            # A new-view re-proposal carries the rank certified by the old
+            # view's prepare quorum; verifying that certificate replaces the
+            # fresh rank-report calculation.
+            self.context.record_crypto("verify")
+            return True
         max_rank = self.context.max_rank()
         reports = message.rank_reports
         bootstrap = message.round == 1 or (

@@ -55,6 +55,10 @@ class PrePrepare(InstanceMessage):
     aggregated_rank_proof_bytes: int = 0
     proposed_at: float = 0.0
     batch_submitted_at: float = 0.0
+    #: a new leader re-proposing a round that was prepared (but not
+    #: committed) in the previous view; digest and rank are carried over
+    #: from the old view's prepared certificate instead of being recomputed
+    reproposal: bool = False
 
     @property
     def size_bytes(self) -> int:

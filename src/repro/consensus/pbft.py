@@ -67,6 +67,9 @@ class PBFTInstance(ConsensusInstance):
         self.delivered_blocks: list = []
         #: first round of the current view after a view change (0 = no view change yet)
         self.view_resume_round = 0
+        #: highest last-committed round reported by any collected view-change
+        #: vote, per (view-change, view) key — the new-view resume point
+        self._view_change_high: Dict[Tuple, int] = {}
 
     # ----------------------------------------------------------------- hooks
     def start(self) -> None:
@@ -74,10 +77,24 @@ class PBFTInstance(ConsensusInstance):
         self._arm_propose_timer()
 
     # -------------------------------------------------------------- proposing
+    def _skip_reproposed_rounds(self) -> None:
+        """Advance the proposal cursor past rounds already in flight.
+
+        After a view change the new leader re-proposes every round that was
+        prepared in the old view; those entries already exist in its log, so
+        the fresh-proposal cursor must not land on them (it would offer a
+        conflicting batch for an in-flight round)."""
+        while True:
+            entry = self.log.get(self.next_round)
+            if entry is None or not entry.pre_prepared:
+                return
+            self.next_round += 1
+
     def ready_to_propose(self) -> bool:
         """The leader proposes one round at a time: round r needs r-1 committed."""
         if not self.is_leader or self.stopped or self.view_change_in_progress:
             return False
+        self._skip_reproposed_rounds()
         return self.next_round == 1 or self.last_committed_round >= self.next_round - 1
 
     def propose(self, batch: Batch, now: float) -> Optional[PrePrepare]:
@@ -226,6 +243,10 @@ class PBFTInstance(ConsensusInstance):
             proposer=entry.proposer,
             proposed_at=entry.proposed_at,
             committed_at=now,
+            # Thread the consensus digest through so the safety auditor can
+            # compare *what* was committed, not just where (an equivocating
+            # leader commits different digests at the same instance/round).
+            payload_digest=entry.digest,
             tx_count_hint=entry.tx_count,
             batch_submitted_at=entry.batch_submitted_at,
         )
@@ -300,9 +321,14 @@ class PBFTInstance(ConsensusInstance):
         if self.config.leader_for_view(message.view) != self.replica_id:
             return
         key = ("view-change", message.view)
+        high = max(
+            self._view_change_high.get(key, self.last_committed_round),
+            message.last_committed_round,
+        )
+        self._view_change_high[key] = high
         if not self.view_change_votes.add_vote(key, sender):
             return
-        resume_round = max(message.last_committed_round, self.last_committed_round) + 1
+        resume_round = max(high, self.last_committed_round) + 1
         new_view_msg = NewView(
             sender=self.replica_id,
             instance=self.instance_id,
@@ -322,15 +348,55 @@ class PBFTInstance(ConsensusInstance):
             return
         self.view = message.view
         self.view_change_in_progress = False
-        self.next_round = max(self.next_round, message.resume_round)
+        # Reset (not max) the proposal cursor: rounds at and beyond the
+        # resume point are dropped below and must be re-proposed, so a new
+        # leader whose cursor had advanced past them would otherwise wait
+        # forever for commits of rounds nobody can propose any more.
+        self.next_round = max(self.last_committed_round + 1, message.resume_round)
         self.view_resume_round = message.resume_round
+        is_new_leader = self.config.leader_for_view(message.view) == self.replica_id
         # Drop uncommitted in-flight rounds; the new leader re-proposes them.
+        # Rounds that reached a prepare quorum in the old view are re-proposed
+        # with their ORIGINAL digest/batch (PBFT's new-view rule): a replica
+        # that already committed one of them must see the same content again,
+        # never a fresh batch at the same round.  (Full PBFT sources these
+        # from prepared certificates inside the view-change messages; we use
+        # the new leader's own log, which holds them in all but pathological
+        # message-loss interleavings.)
+        stashed: Dict[int, RoundEntry] = {}
         for round, entry in list(self.log.items()):
             if not entry.committed and round >= message.resume_round:
+                if is_new_leader and entry.pre_prepared and entry.prepare_quorum:
+                    stashed[round] = entry
                 del self.log[round]
                 self.context.cancel_timer(self._round_timer_name(round))
         self._arm_propose_timer()
         self.on_view_installed(message.view)
+        # Every prepared round is re-proposed (a prepared round may have
+        # committed at some replica, so it must reappear with the same
+        # content); holes between them are filled by the pacing loop, whose
+        # cursor skips rounds already re-proposed in this view.
+        for round in sorted(stashed):
+            self._repropose(stashed[round])
+
+    def _repropose(self, entry: RoundEntry) -> None:
+        """Re-propose a round prepared in a previous view, content unchanged."""
+        message = PrePrepare(
+            sender=self.replica_id,
+            instance=self.instance_id,
+            view=self.view,
+            round=entry.round,
+            digest=entry.digest,
+            tx_count=entry.tx_count,
+            txs=entry.txs,
+            rank=entry.rank,
+            epoch=entry.epoch,
+            reproposal=True,
+            proposed_at=entry.proposed_at,
+            batch_submitted_at=entry.batch_submitted_at,
+        )
+        self.context.record_crypto("sign")
+        self.context.multicast(message, message.size_bytes)
 
     def on_view_installed(self, view: int) -> None:
         """Hook for the hosting replica (e.g. to log view-change completion)."""

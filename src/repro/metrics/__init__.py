@@ -1,5 +1,7 @@
-"""Measurement: throughput, latency, causal strength and resource accounting."""
+"""Measurement: throughput, latency, causal strength, resource accounting,
+and the safety/liveness auditor that self-verifies every run."""
 
+from repro.metrics.auditor import AuditViolation, SafetyAuditReport, audit_system
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.metrics.throughput import ThroughputSeries, peak_throughput
 from repro.metrics.latency import LatencyAccumulator
@@ -7,8 +9,11 @@ from repro.metrics.resources import ResourceModel, ResourceUsage, CryptoCostMode
 from repro.metrics.causality import causal_strength_of_run
 
 __all__ = [
+    "AuditViolation",
     "MetricsCollector",
     "RunMetrics",
+    "SafetyAuditReport",
+    "audit_system",
     "ThroughputSeries",
     "peak_throughput",
     "LatencyAccumulator",

@@ -23,6 +23,7 @@ from repro.core.ordering import ConfirmedBlock, DynamicOrderer, GlobalOrderer
 from repro.core.predetermined import PredeterminedOrderer
 from repro.core.rank import RankState
 from repro.crypto.aggregate import quorum_threshold
+from repro.metrics.auditor import SafetyAuditReport, audit_system
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.metrics.resources import ResourceModel
 from repro.sim.faults import FaultConfig, FaultInjector
@@ -119,8 +120,10 @@ class SystemResult:
     view_change_times: List[Tuple[float, int, int]]
     epoch_advancements: List[Tuple[float, int]]
     crash_log: List[Tuple[float, int, str]]
-    #: unified fault/dynamics timeline: (time, kind, detail)
+    #: unified fault/dynamics/attack timeline: (time, kind, detail)
     dynamics_log: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: safety/liveness audit of the honest replicas (always computed)
+    audit: Optional[SafetyAuditReport] = None
 
 
 class ReplicaInstanceContext(InstanceContext):
@@ -207,6 +210,7 @@ class MultiBFTReplica(Node):
                 quorum=self.quorum,
             )
         self._checkpoint_sent_for: set = set()
+        self._last_checkpoint: Optional[CheckpointMessage] = None
         self._build_instances()
 
     # ------------------------------------------------------------- factories
@@ -407,6 +411,7 @@ class MultiBFTReplica(Node):
             return
         self._checkpoint_sent_for.add(epoch)
         message = self.checkpoints.build_checkpoint(epoch, len(self.orderer.confirmed))
+        self._last_checkpoint = message
         self.resources.record_crypto(self.node_id, "sign")
         self.multicast_protocol_message(message, message.size_bytes)
 
@@ -429,6 +434,22 @@ class MultiBFTReplica(Node):
     # ------------------------------------------------------------ view change
     def _on_view_installed(self, instance_id: int, view: int) -> None:
         self.view_change_log.append((self.now(), instance_id, view))
+        # PBFT view-change messages carry the sender's latest (stable)
+        # checkpoint; we model that as a re-broadcast whenever some replica
+        # may still lack our vote, so checkpoint quorums lost to message
+        # suppression recover with the view change instead of wedging the
+        # epoch forever.  Votes are idempotent, so in healthy runs (all n
+        # checkpoint votes seen) this is a no-op; checkpoints the cluster
+        # has advanced more than one epoch past are stale (the missing
+        # voters clearly didn't gate progress) and are never re-sent.
+        if (
+            self._last_checkpoint is not None
+            and self.checkpoints.votes(self._last_checkpoint.epoch) < self.config.n
+            and self.current_epoch() <= self._last_checkpoint.epoch + 1
+        ):
+            self.multicast_protocol_message(
+                self._last_checkpoint, self._last_checkpoint.size_bytes
+            )
         instance = self.instances[instance_id]
         if instance.leader == self.node_id and not self.has_timer(f"pace:{instance_id}"):
             self.set_timer(
@@ -444,6 +465,13 @@ class MultiBFTSystem:
     replica_class: Type[MultiBFTReplica] = MultiBFTReplica
 
     def __init__(self, config: SystemConfig) -> None:
+        effective_faults = config.effective_faults()
+        if effective_faults is not config.faults:
+            # Replicas read straggler/byzantine behaviour straight from
+            # ``config.faults``; fold the scenario's merged fault view back
+            # in so an adversary declared by the scenario acts exactly like
+            # one declared on the config.
+            config = replace(config, faults=effective_faults)
         self.config = config
         self.trace = TraceRecorder(enabled=config.trace)
         self.simulator = Simulator(seed=config.seed, trace=self.trace)
@@ -453,7 +481,7 @@ class MultiBFTSystem:
             config=config.network_config(),
         )
         self.resources = ResourceModel()
-        self.effective_faults = config.effective_faults()
+        self.effective_faults = effective_faults
         self.traffic_stream = config.build_traffic_stream()
         self.replicas: Dict[int, MultiBFTReplica] = {}
         for replica_id in range(config.n):
@@ -475,12 +503,13 @@ class MultiBFTSystem:
     def observer_id(self) -> int:
         """The replica whose log and metrics the experiment reports.
 
-        Pick the lowest-id replica that neither straggles nor crashes, so the
-        reported numbers reflect an honest, live participant (as a client
-        would observe).
+        Pick the lowest-id replica that neither straggles, crashes, nor runs
+        any adversarial behaviour, so the reported numbers reflect an honest,
+        live participant (as a client would observe).
         """
-        excluded = {spec.replica for spec in self.effective_faults.stragglers}
+        excluded = set(self.effective_faults.straggler_map())
         excluded.update(spec.replica for spec in self.effective_faults.crashes)
+        excluded.update(self.effective_faults.adversarial_replicas())
         for replica_id in range(self.config.n):
             if replica_id not in excluded:
                 return replica_id
@@ -508,6 +537,12 @@ class MultiBFTSystem:
             resources=self.resources,
             warmup=self.config.warmup,
         )
+        audit = audit_system(self)
+        metrics.extra["safety_violations"] = float(len(audit.violations))
+        metrics.extra["stalled_instances"] = float(len(audit.stalled_instances))
+        if self.fault_injector.interceptors:
+            for key, value in self.fault_injector.adversary_stats().items():
+                metrics.extra[f"adversary_{key}"] = float(value)
         view_changes: List[Tuple[float, int, int]] = []
         for replica in self.replicas.values():
             view_changes.extend(replica.view_change_log)
@@ -524,4 +559,5 @@ class MultiBFTSystem:
             epoch_advancements=epoch_log,
             crash_log=list(self.fault_injector.crash_log),
             dynamics_log=list(self.fault_injector.event_log),
+            audit=audit,
         )

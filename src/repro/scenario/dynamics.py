@@ -180,4 +180,5 @@ def resolve_dynamics(
         partitions=tuple(partitions),
         degradations=tuple(degradations),
         loss_bursts=tuple(loss_bursts),
+        adversary=base.adversary,
     )

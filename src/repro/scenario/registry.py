@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.adversary.registry import get_adversary
 from repro.scenario.dynamics import (
     Churn,
     LinkDegradation,
@@ -174,5 +175,59 @@ register_scenario(
         traffic=TrafficSpec(
             profile=RampTraffic(start_tps=1_000.0, end_tps=120_000.0, ramp_duration=20.0)
         ),
+    )
+)
+
+# ----------------------------------------------------------- adversarial
+# One scenario per catalog attack (see ``python -m repro.bench adversary
+# list``), so sweeps can attribute metric shifts to a single behaviour.
+# All of them keep the paper's 4-region WAN topology and saturated load;
+# the only change versus the honest ``wan`` baseline is the adversary.
+register_scenario(
+    ScenarioSpec(
+        name="byz-equivocation",
+        description=(
+            "4-region WAN; replica 3 equivocates on its instance: honest "
+            "odd-id replicas receive a conflicting fork, stall on instance "
+            "3, and the even-side quorum loses all slack (latency rises); "
+            "safety holds (f < n/3) and the auditor confirms it"
+        ),
+        adversary=get_adversary("equivocation"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="byz-silence",
+        description=(
+            "4-region WAN; from t=4s replica 3 censors its proposals "
+            "towards replica 0: the observer's instance-3 partial commits "
+            "stop, its confirmed log wedges at the confirmation bar, and "
+            "observed throughput collapses"
+        ),
+        adversary=get_adversary("silence-observer"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="byz-delayed-votes",
+        description=(
+            "4-region WAN; replica 3 holds every proposal and vote for 3s "
+            "— just under the view-change timeout — so its instance crawls "
+            "without a single view change firing"
+        ),
+        adversary=get_adversary("delayed-votes"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="byz-rank",
+        description=(
+            "4-region WAN; replica 3 is the paper's Byzantine straggler "
+            "(Fig. 7): 1/10 rate, empty blocks, lowest-2f+1 rank reports"
+        ),
+        adversary=get_adversary("rank-manipulation"),
     )
 )

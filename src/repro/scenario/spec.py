@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, TYPE_CHECKING
 
+from repro.adversary.spec import AdversarySpec
 from repro.scenario.dynamics import DynamicsEvent, resolve_dynamics
 from repro.scenario.topology import TopologySpec
 from repro.sim.faults import FaultConfig
@@ -107,6 +108,8 @@ class ScenarioSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     drop_probability: float = 0.0
     duplicate_probability: float = 0.0
+    #: Byzantine behaviour active in this scenario (None = all honest)
+    adversary: Optional[AdversarySpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -147,10 +150,19 @@ class ScenarioSpec:
         )
 
     def fault_config(self, base: FaultConfig, n: int) -> FaultConfig:
-        """Merge the dynamics timeline into ``base`` for an ``n``-replica run."""
-        if not self.dynamics:
-            return base
-        return resolve_dynamics(self.dynamics, base, self.topology, n)
+        """Merge the dynamics timeline and adversary into ``base``."""
+        config = base
+        if self.dynamics:
+            config = resolve_dynamics(self.dynamics, config, self.topology, n)
+        if self.adversary is not None:
+            self.adversary.validate_for(n)
+            merged = (
+                config.adversary.merge(self.adversary)
+                if config.adversary is not None
+                else self.adversary
+            )
+            config = replace(config, adversary=merged)
+        return config
 
     def build_traffic_stream(self, num_instances: int, n: int) -> Optional[TrafficStream]:
         return self.traffic.build_stream(num_instances, n, self.topology)
@@ -170,6 +182,8 @@ class ScenarioSpec:
             parts.append(f"loss {self.drop_probability:.1%}")
         if self.duplicate_probability:
             parts.append(f"dup {self.duplicate_probability:.1%}")
+        if self.adversary is not None:
+            parts.append(f"adversary: {self.adversary.describe()}")
         return "; ".join(parts)
 
     def with_traffic(self, profile: TrafficProfile) -> "ScenarioSpec":

@@ -21,10 +21,13 @@ simply a set of declarative specs rather than ad-hoc wiring.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adversary.interceptor import AdversaryInterceptor
+    from repro.adversary.spec import AdversarySpec
     from repro.sim.network import Network
 
 
@@ -33,8 +36,10 @@ class StragglerSpec:
     """One straggling leader.
 
     ``slowdown`` is the ``k`` of the paper: the straggler proposes blocks at
-    ``1/k`` of the normal leaders' rate.  ``byzantine`` selects the rank
-    manipulation strategy on top of the slow proposals.
+    ``1/k`` of the normal leaders' rate.  ``byzantine`` is a **deprecated
+    shim**: the rank-manipulation strategy now lives in the adversary
+    catalog (:class:`repro.adversary.attacks.RankManipulation`); setting
+    the flag still works and is lowered onto the catalog behaviour.
     """
 
     replica: int
@@ -123,13 +128,21 @@ def _reject_overlaps(kind: str, windows: Sequence[Tuple[float, float]]) -> None:
 
 @dataclass
 class FaultConfig:
-    """All fault and network-dynamics injection for one experiment run."""
+    """All fault, network-dynamics, and adversary injection for one run.
+
+    ``adversary`` carries a :class:`~repro.adversary.spec.AdversarySpec`:
+    its :class:`~repro.adversary.attacks.RankManipulation` attacks are
+    lowered onto the straggler machinery here (so the proposal hot path
+    stays one dict lookup), while its message-layer attacks are armed as
+    per-node interceptors by :class:`FaultInjector`.
+    """
 
     stragglers: Tuple[StragglerSpec, ...] = ()
     crashes: Tuple[CrashSpec, ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
     degradations: Tuple[DegradationSpec, ...] = ()
     loss_bursts: Tuple[LossBurstSpec, ...] = ()
+    adversary: Optional["AdversarySpec"] = None
 
     def __post_init__(self) -> None:
         # The straggler queries sit on the proposal hot path (every pacing
@@ -138,6 +151,23 @@ class FaultConfig:
         self._straggler_by_replica: Dict[int, StragglerSpec] = {
             spec.replica: spec for spec in self.stragglers
         }
+        if self.adversary is not None:
+            # Rank manipulation lowers onto the straggler machinery; a
+            # catalog attack wins over a plain straggler spec for the same
+            # replica (the attack is the stronger statement).
+            for spec in self.adversary.straggler_specs():
+                self._straggler_by_replica[spec.replica] = spec
+        legacy = {spec.replica for spec in self.stragglers if spec.byzantine}
+        if legacy - (
+            self.adversary.rank_manipulators() if self.adversary is not None else frozenset()
+        ):
+            warnings.warn(
+                "StragglerSpec.byzantine is deprecated; declare the attack as "
+                "FaultConfig(adversary=AdversarySpec((RankManipulation("
+                "replicas=..., slowdown=...),))) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         # Degradation and loss-burst windows restore the pre-window state on
         # expiry, so overlapping windows of one kind would quietly cancel each
         # other — reject them up front.
@@ -175,6 +205,7 @@ class FaultConfig:
         return replica in self._straggler_by_replica
 
     def is_byzantine(self, replica: int) -> bool:
+        """Whether ``replica`` manipulates ranks (catalog attack or legacy flag)."""
         spec = self._straggler_by_replica.get(replica)
         return spec is not None and spec.byzantine
 
@@ -183,7 +214,19 @@ class FaultConfig:
         return spec.slowdown if spec is not None else 1.0
 
     def straggler_count(self) -> int:
-        return len(self.stragglers)
+        """Stragglers including adversarial rank manipulators."""
+        return len(self._straggler_by_replica)
+
+    def adversarial_replicas(self) -> FrozenSet[int]:
+        """Replicas running any Byzantine behaviour (never fit observers)."""
+        members = {
+            replica
+            for replica, spec in self._straggler_by_replica.items()
+            if spec.byzantine
+        }
+        if self.adversary is not None:
+            members.update(self.adversary.replicas())
+        return frozenset(members)
 
     def has_network_dynamics(self) -> bool:
         return bool(self.partitions or self.degradations or self.loss_bursts)
@@ -211,6 +254,8 @@ class FaultInjector:
         self.network = network
         self.crash_log: List[Tuple[float, int, str]] = []
         self.event_log: List[Tuple[float, str, str]] = []
+        #: per-replica adversary interceptors installed by :meth:`arm`
+        self.interceptors: Dict[int, "AdversaryInterceptor"] = {}
 
     def arm(self) -> None:
         """Install all configured events on the simulator."""
@@ -224,6 +269,18 @@ class FaultInjector:
             self._arm_degradation(degradation)
         for burst in self.config.loss_bursts:
             self._arm_loss_burst(burst)
+        if self.config.adversary is not None:
+            self.interceptors = self.config.adversary.install(
+                self.simulator, self.nodes, event_log=self.event_log
+            )
+
+    def adversary_stats(self) -> Dict[str, int]:
+        """Aggregate interceptor counters across all adversarial replicas."""
+        totals = {"suppressed": 0, "delayed": 0, "forged": 0}
+        for interceptor in self.interceptors.values():
+            for key, value in interceptor.stats().items():
+                totals[key] += value
+        return totals
 
     # ----------------------------------------------------------- node faults
     def _arm_crash(self, spec: CrashSpec) -> None:

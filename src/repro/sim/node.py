@@ -33,6 +33,11 @@ class Timer:
 class Node:
     """Base class for simulated processes (replicas, clients, injectors)."""
 
+    #: outbound message interceptor (the adversary subsystem's hook); when
+    #: set, every outbound message passes through ``interceptor.outbound``,
+    #: which may suppress, rewrite, or delay it.  None = honest node.
+    interceptor: Optional[Any] = None
+
     def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
         self.node_id = node_id
         self.simulator = simulator
@@ -49,10 +54,18 @@ class Node:
     def send(self, receiver: int, message: Any, size_bytes: int = 0) -> None:
         if self.crashed:
             return
+        if self.interceptor is not None and self.interceptor.outbound(
+            self, receiver, message, size_bytes
+        ):
+            return
         self.network.send(self.node_id, receiver, message, size_bytes)
 
     def multicast(self, receivers, message: Any, size_bytes: int = 0) -> None:
         if self.crashed:
+            return
+        if self.interceptor is not None:
+            for receiver in receivers:
+                self.send(receiver, message, size_bytes)
             return
         self.network.multicast(self.node_id, receivers, message, size_bytes)
 

@@ -248,3 +248,99 @@ class TestCryptoAccounting:
         drive_round(leader, leader_ctx, backups)
         assert leader_ctx.crypto_ops.get("sign", 0) >= 2
         assert leader_ctx.crypto_ops.get("verify", 0) >= 2 * QUORUM - 1
+
+
+class TestNewViewReproposal:
+    """A new leader re-proposes rounds prepared (but not committed) in the
+    old view with their original digest, so a replica that already committed
+    one of them can never observe a conflicting batch at the same round."""
+
+    def _prepared_new_leader(self):
+        """Replica 1 (leader of view 1) with round 1 prepared in view 0."""
+        instance, context = make_instance(replica_id=1, instance_id=0)
+        pre = PrePrepare(
+            sender=0, instance=0, view=0, round=1, digest="original",
+            tx_count=7, rank=1, batch_submitted_at=0.5,
+        )
+        instance.on_message(0, pre)
+        for sender in (0, 2, 3):
+            instance.on_message(
+                sender, Prepare(sender=sender, instance=0, view=0, round=1,
+                                digest="original", rank=1)
+            )
+        assert instance.log[1].prepare_quorum
+        return instance, context
+
+    def test_new_leader_reproposes_prepared_round_with_same_digest(self):
+        instance, context = self._prepared_new_leader()
+        instance.on_message(
+            1, NewView(sender=1, instance=0, view=1, round=1,
+                       view_change_count=QUORUM, resume_round=1)
+        )
+        reproposals = [m for m, _ in context.multicasts
+                       if isinstance(m, PrePrepare) and m.reproposal]
+        assert len(reproposals) == 1
+        message = reproposals[0]
+        assert message.digest == "original"
+        assert message.view == 1 and message.round == 1
+        assert message.tx_count == 7 and message.rank == 1
+        # Self-delivery recreates the leader's log entry; the fresh-proposal
+        # cursor then skips the in-flight re-proposed round.
+        instance.on_message(1, message)
+        assert not instance.ready_to_propose()  # round 1 must commit first
+        assert instance.next_round == 2
+
+    def test_backup_accepts_and_reprepares_the_reproposal(self):
+        leader, leader_ctx = self._prepared_new_leader()
+        leader.on_message(
+            1, NewView(sender=1, instance=0, view=1, round=1,
+                       view_change_count=QUORUM, resume_round=1)
+        )
+        reproposal = next(m for m, _ in leader_ctx.multicasts
+                          if isinstance(m, PrePrepare) and m.reproposal)
+        backup, backup_ctx = make_instance(replica_id=2, instance_id=0)
+        backup.on_message(
+            1, NewView(sender=1, instance=0, view=1, round=1,
+                       view_change_count=QUORUM, resume_round=1)
+        )
+        backup.on_message(1, reproposal)
+        prepares = [m for m, _ in backup_ctx.multicasts if isinstance(m, Prepare)]
+        assert prepares and prepares[-1].digest == "original"
+
+    def test_prepared_round_past_a_hole_is_still_reproposed(self):
+        # the new leader missed round 1 but has round 2 prepared: round 2
+        # must reappear with its original digest (someone may have committed
+        # it), while round 1 is left for the pacing loop to propose fresh
+        instance, context = make_instance(replica_id=1, instance_id=0)
+        pre = PrePrepare(sender=0, instance=0, view=0, round=2, digest="later",
+                         tx_count=4, rank=2)
+        instance.on_message(0, pre)
+        for sender in (0, 2, 3):
+            instance.on_message(
+                sender, Prepare(sender=sender, instance=0, view=0, round=2,
+                                digest="later", rank=2)
+            )
+        instance.on_message(
+            1, NewView(sender=1, instance=0, view=1, round=1,
+                       view_change_count=QUORUM, resume_round=1)
+        )
+        reproposals = [m for m, _ in context.multicasts
+                       if isinstance(m, PrePrepare) and m.reproposal]
+        assert [m.round for m in reproposals] == [2]
+        assert reproposals[0].digest == "later"
+        # round 1 is the hole: the pacing cursor proposes it fresh
+        assert instance.next_round == 1
+        assert instance.ready_to_propose()
+
+    def test_unprepared_rounds_are_not_reproposed(self):
+        instance, context = make_instance(replica_id=1, instance_id=0)
+        pre = PrePrepare(sender=0, instance=0, view=0, round=1, digest="d", tx_count=3)
+        instance.on_message(0, pre)  # pre-prepared only: no prepare quorum
+        instance.on_message(
+            1, NewView(sender=1, instance=0, view=1, round=1,
+                       view_change_count=QUORUM, resume_round=1)
+        )
+        assert not any(isinstance(m, PrePrepare) and m.reproposal
+                       for m, _ in context.multicasts)
+        # the pacing loop proposes the round fresh instead
+        assert instance.next_round == 1
