@@ -26,7 +26,7 @@ the safety argument the auditor checks experimentally.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, TYPE_CHECKING
 
 from repro.adversary.attacks import (
     Attack,
@@ -40,8 +40,8 @@ from repro.adversary.attacks import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
     from repro.sim.node import Node
-    from repro.sim.simulator import Simulator
 
 
 class AdversaryInterceptor:
@@ -50,12 +50,12 @@ class AdversaryInterceptor:
     def __init__(
         self,
         replica_id: int,
-        simulator: "Simulator",
+        runtime: "Runtime",
         n: int,
         conspirators: frozenset,
     ) -> None:
         self.replica_id = replica_id
-        self.simulator = simulator
+        self.runtime = runtime
         self.n = n
         self.conspirators = frozenset(conspirators)
         self._active: List[Attack] = []
@@ -115,7 +115,7 @@ class AdversaryInterceptor:
             self._send_later(node, receiver, out, size_bytes, delay)
             return True
         if out is not message:
-            node.network.send(node.node_id, receiver, out, size_bytes)
+            node.runtime.send(node.node_id, receiver, out, size_bytes)
             return True
         return False
 
@@ -125,11 +125,9 @@ class AdversaryInterceptor:
     ) -> None:
         def _release() -> None:
             if not node.crashed:
-                node.network.send(node.node_id, receiver, message, size_bytes)
+                node.runtime.send(node.node_id, receiver, message, size_bytes)
 
-        self.simulator.schedule_after(
-            delay, _release, label=f"adversary-delay:{node.node_id}->{receiver}"
-        )
+        self.runtime.schedule_after(delay, _release)
 
     def _in_forged_world(self, receiver: int) -> bool:
         return receiver not in self.conspirators and receiver % 2 == 1

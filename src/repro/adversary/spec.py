@@ -10,7 +10,7 @@ An :class:`AdversarySpec` bundles a tuple of catalog attacks
 * rides the :class:`~repro.sim.faults.FaultConfig` (``adversary`` field),
   where :class:`RankManipulation` attacks lower onto the existing
   straggler machinery; and
-* is armed by :meth:`install` onto the simulator timeline from
+* is armed by :meth:`install` onto the runtime timeline from
   :meth:`~repro.sim.faults.FaultInjector.arm`, creating one
   :class:`~repro.adversary.interceptor.AdversaryInterceptor` per
   adversarial replica and logging attack windows into the run's unified
@@ -27,7 +27,7 @@ from repro.adversary.interceptor import AdversaryInterceptor
 from repro.sim.faults import StragglerSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.simulator import Simulator
+    from repro.runtime.base import Runtime
 
 
 @dataclass(frozen=True)
@@ -111,7 +111,7 @@ class AdversarySpec:
     # ---------------------------------------------------------------- arming
     def install(
         self,
-        simulator: "Simulator",
+        runtime: "Runtime",
         nodes: Dict[int, object],
         event_log: Optional[List[Tuple[float, str, str]]] = None,
     ) -> Dict[int, AdversaryInterceptor]:
@@ -120,7 +120,7 @@ class AdversarySpec:
         Called by :meth:`~repro.sim.faults.FaultInjector.arm`.  Rank
         manipulation needs no interceptor (it is lowered into the straggler
         configuration); every other attack gets activation/deactivation
-        events on the simulator timeline, logged into ``event_log``.
+        events on the runtime timeline, logged into ``event_log``.
         """
         n = len(nodes)
         self.validate_for(n)
@@ -131,7 +131,7 @@ class AdversarySpec:
             if node is None:
                 raise KeyError(f"cannot corrupt unknown replica {replica}")
             interceptor = AdversaryInterceptor(
-                replica_id=replica, simulator=simulator, n=n, conspirators=conspirators
+                replica_id=replica, runtime=runtime, n=n, conspirators=conspirators
             )
             node.interceptor = interceptor
             interceptors[replica] = interceptor
@@ -141,12 +141,12 @@ class AdversarySpec:
             if isinstance(attack, RankManipulation):
                 log.append((0.0, "attack:rank-manipulation", attack.describe()))
                 continue
-            self._arm_window(simulator, interceptors, attack, log)
+            self._arm_window(runtime, interceptors, attack, log)
         return interceptors
 
     def _arm_window(
         self,
-        simulator: "Simulator",
+        runtime: "Runtime",
         interceptors: Dict[int, AdversaryInterceptor],
         attack: Attack,
         log: List[Tuple[float, str, str]],
@@ -156,9 +156,9 @@ class AdversarySpec:
         def _on() -> None:
             for interceptor in targets:
                 interceptor.activate(attack)
-            log.append((simulator.now(), f"attack:{attack.label}", attack.describe()))
+            log.append((runtime.now(), f"attack:{attack.label}", attack.describe()))
 
-        simulator.schedule_at(attack.start, _on, label=f"attack:{attack.label}:on")
+        runtime.schedule_at(attack.start, _on, label=f"attack:{attack.label}:on")
         if attack.until is not None:
 
             def _off() -> None:
@@ -168,7 +168,7 @@ class AdversarySpec:
                     interceptor.replica_id: interceptor.stats() for interceptor in targets
                 }
                 log.append(
-                    (simulator.now(), f"attack:{attack.label}-end", f"stats={counts}")
+                    (runtime.now(), f"attack:{attack.label}-end", f"stats={counts}")
                 )
 
-            simulator.schedule_at(attack.until, _off, label=f"attack:{attack.label}:off")
+            runtime.schedule_at(attack.until, _off, label=f"attack:{attack.label}:off")

@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench list
     python -m repro.bench fig5 --workers 4
     python -m repro.bench table2 --cache-dir .sweep-cache --json out.json
+    python -m repro.bench run --runtime realtime --duration 3
+    python -m repro.bench run --protocol iss-pbft --scenario lossy-lan
     python -m repro.bench scenario list
     python -m repro.bench scenario run wan-partition --protocol ladon-pbft
     python -m repro.bench scenario sweep --scenarios all --workers 4
@@ -108,6 +110,74 @@ def _print_result(name: str, result: object) -> None:
         print(json.dumps(result, indent=2, default=repr))
 
 
+# ------------------------------------------------------------- run CLI
+def run_main(argv: Sequence[str]) -> int:
+    """``python -m repro.bench run``: one cell on a chosen execution backend."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench run",
+        description="Run one experiment cell end-to-end on a chosen runtime "
+        "backend (DES virtual time, or asyncio wall clock) and audit it.",
+    )
+    parser.add_argument("--runtime", choices=["des", "realtime"], default="des",
+                        help="execution backend (default: des)")
+    parser.add_argument("--protocol", default="ladon-pbft")
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds (realtime: wall-clock seconds "
+                             "scaled by --timescale)")
+    parser.add_argument("--timescale", type=float, default=1.0,
+                        help="realtime only: wall seconds per simulated second "
+                             "(0.5 runs a 10 s scenario in ~5 s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--scenario", default=None,
+                        help="named scenario (default: paper WAN preset)")
+    parser.add_argument("--adversary", default=None,
+                        help="named adversary (default: all honest)")
+    parser.add_argument("--json", dest="json_path")
+    args = parser.parse_args(argv)
+
+    from repro.bench.runner import run_des_cell
+
+    cell = ExperimentCell(
+        protocol=args.protocol,
+        n=args.n,
+        duration=args.duration,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        scenario=args.scenario,
+        adversary=args.adversary,
+        runtime=args.runtime,
+        realtime_timescale=args.timescale,
+    )
+    result = run_des_cell(cell)
+    row = result.metrics.as_dict()
+    row["runtime"] = args.runtime
+    print(format_table([row], columns=["runtime"] + list(DEFAULT_COLUMNS),
+                       title=f"run {cell.label()}"))
+    for line in _audit_lines(result):
+        print(line)
+    if result.dynamics_log:
+        print("timeline:")
+        for time, kind, detail in result.dynamics_log:
+            print(f"  t={time:7.3f}s  {kind:28s} {detail}")
+    if args.json_path:
+        payload = {
+            "cell": cell.label(),
+            "runtime": args.runtime,
+            "metrics": row,
+            "audit": {
+                "safety_ok": result.audit.safety_ok,
+                "violations": [str(v) for v in result.audit.violations],
+                "stalled_instances": list(result.audit.stalled_instances),
+            },
+            "dynamics_log": result.dynamics_log,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=repr)
+    return 0 if result.audit.safety_ok else 1
+
+
 # ------------------------------------------------------------ adversary CLI
 def _adversary_list() -> int:
     from repro.adversary.attacks import MESSAGE_KINDS
@@ -155,6 +225,8 @@ def _adversary_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         scenario=args.scenario,
+        runtime=args.runtime,
+        realtime_timescale=args.timescale,
     )
     baseline_label = "honest"
     if args.scenario is not None:
@@ -233,6 +305,10 @@ def adversary_main(argv: Sequence[str]) -> int:
     run_parser.add_argument("--batch-size", type=int, default=1024)
     run_parser.add_argument("--scenario", default=None,
                             help="base scenario to attack (default: paper WAN preset)")
+    run_parser.add_argument("--runtime", choices=["des", "realtime"], default="des",
+                            help="execution backend (default: des)")
+    run_parser.add_argument("--timescale", type=float, default=1.0,
+                            help="realtime only: wall seconds per simulated second")
     run_parser.add_argument("--no-baseline", action="store_true",
                             help="skip the honest comparison run")
     run_parser.add_argument("--expect-unsafe", action="store_true",
@@ -269,6 +345,8 @@ def _scenario_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         scenario=args.name,
+        runtime=args.runtime,
+        realtime_timescale=args.timescale,
     )
     result = run_des_cell(cell)
     row = result.metrics.as_dict()
@@ -348,6 +426,10 @@ def scenario_main(argv: Sequence[str]) -> int:
     run_parser.add_argument("--duration", type=float, default=30.0)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--batch-size", type=int, default=1024)
+    run_parser.add_argument("--runtime", choices=["des", "realtime"], default="des",
+                            help="execution backend (default: des)")
+    run_parser.add_argument("--timescale", type=float, default=1.0,
+                            help="realtime only: wall seconds per simulated second")
     run_parser.add_argument("--json", dest="json_path")
 
     sweep_parser = sub.add_parser("sweep", help="grid of scenarios x protocols")
@@ -378,6 +460,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return scenario_main(argv[1:])
     if argv and argv[0] == "adversary":
         return adversary_main(argv[1:])
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures via the sweep harness.",
@@ -406,6 +490,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             suffix = " (sweepable)" if name in SWEEPABLE else ""
             print(f"{name:12s} {doc}{suffix}")
+        print("run          one cell on a chosen backend: 'run --runtime des|realtime'")
         print("scenario     named-scenario engine: 'scenario list|run|sweep' (sweepable)")
         print("adversary    Byzantine attack catalog: 'adversary list|run'")
         return 0

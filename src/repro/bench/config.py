@@ -36,6 +36,11 @@ class ExperimentCell:
     #: named adversary (see :mod:`repro.adversary.registry`), applied on top
     #: of whatever the scenario configures; cache-keyed like ``scenario``
     adversary: Optional[str] = None
+    #: execution backend for the DES engine's system: "des" (virtual time,
+    #: the default) or "realtime" (asyncio wall clock); cache-keyed
+    runtime: str = "des"
+    #: realtime backend only: wall seconds per simulated second
+    realtime_timescale: float = 1.0
 
     def scenario_spec(self):
         """Resolve the named scenario, or None for the legacy presets."""
@@ -90,12 +95,16 @@ class ExperimentCell:
             faults=faults,
             propose_timeout=self.propose_timeout,
             scenario=self.scenario_spec(),
+            runtime=self.runtime,
+            realtime_timescale=self.realtime_timescale,
         )
 
     def label(self) -> str:
         tag = f"{self.protocol}-n{self.n}-s{self.stragglers}"
         if self.byzantine:
             tag += "-byz"
+        if self.runtime != "des":
+            tag += f"-rt:{self.runtime}"
         if self.adversary is not None:
             tag += f"-adv:{self.adversary}"
         if self.scenario is not None:

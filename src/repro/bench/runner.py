@@ -24,6 +24,11 @@ def run_cell(cell: ExperimentCell) -> RunMetrics:
                 "adversaries run only on the DES engine; "
                 f"cell {cell.label()!r} sets engine='analytical'"
             )
+        if cell.runtime != "des":
+            raise ValueError(
+                "the analytical engine has no execution runtime; "
+                f"cell {cell.label()!r} sets runtime={cell.runtime!r}"
+            )
         config = AnalyticalConfig(
             protocol=cell.protocol,
             n=cell.n,

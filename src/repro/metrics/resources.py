@@ -72,6 +72,12 @@ class ResourceModel:
 
     def __init__(self, cost_model: CryptoCostModel = None) -> None:
         self.cost_model = cost_model or CryptoCostModel()
+        # Hot path: one dict lookup per operation instead of an if-chain;
+        # cost_of stays the single source of the op -> cost mapping.
+        self._costs: Dict[str, float] = {
+            op: self.cost_model.cost_of(op)
+            for op in ("sign", "verify", "aggregate", "verify_aggregate")
+        }
         self._per_replica: Dict[int, ResourceUsage] = {}
 
     def usage(self, replica: int) -> ResourceUsage:
@@ -81,9 +87,12 @@ class ResourceModel:
 
     # ------------------------------------------------------------- recording
     def record_crypto(self, replica: int, operation: str, count: int = 1) -> None:
+        cost = self._costs.get(operation)
+        if cost is None:
+            raise KeyError(f"unknown crypto operation {operation!r}")
         usage = self.usage(replica)
         usage.crypto_ops[operation] = usage.crypto_ops.get(operation, 0) + count
-        usage.cpu_seconds += self.cost_model.cost_of(operation) * count
+        usage.cpu_seconds += cost * count
 
     def record_message_handled(self, replica: int, size_bytes: int = 0) -> None:
         usage = self.usage(replica)

@@ -1,11 +1,16 @@
 """Common scaffolding for the Multi-BFT systems.
 
 A :class:`MultiBFTSystem` builds one :class:`MultiBFTReplica` per replica on
-a shared :class:`~repro.sim.simulator.Simulator` and network.  Each replica
-hosts ``m`` consensus-instance state machines and one global orderer; the
-replica that leads an instance paces its proposals to respect the total block
-rate (16 blocks/s in WAN, 32 in LAN, as in the paper's evaluation), slows
-down if it is a straggler, and leaves its blocks empty if so.
+a shared execution :class:`~repro.runtime.base.Runtime` (selected by
+``SystemConfig.runtime``: the discrete-event backend or the asyncio
+wall-clock backend).  Each replica hosts ``m`` consensus-instance state
+machines and one global orderer; the replica that leads an instance paces
+its proposals to respect the total block rate (16 blocks/s in WAN, 32 in
+LAN, as in the paper's evaluation), slows down if it is a straggler, and
+leaves its blocks empty if so.
+
+This module is sans-I/O: it never imports the simulator or the network —
+all clock, timer, and transport access goes through the runtime seam.
 """
 
 from __future__ import annotations
@@ -26,11 +31,10 @@ from repro.crypto.aggregate import quorum_threshold
 from repro.metrics.auditor import SafetyAuditReport, audit_system
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.metrics.resources import ResourceModel
+from repro.runtime import NetworkConfig, Runtime, RUNTIME_KINDS, build_runtime
 from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.latency import LanLatency, LatencyModel, WanLatency
-from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Node
-from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.workload.generator import TrafficStream
 from repro.workload.transactions import Batch
@@ -66,6 +70,11 @@ class SystemConfig:
     #: declarative scenario (topology + dynamics + traffic); None = the
     #: legacy ``environment`` preset path, which stays byte-identical
     scenario: Optional["ScenarioSpec"] = None
+    #: execution backend: "des" (virtual time) or "realtime" (wall clock)
+    runtime: str = "des"
+    #: realtime backend only: wall seconds per simulated second (0.1 runs a
+    #: 10 s scenario in ~1 s of wall time); ignored by the DES backend
+    realtime_timescale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.n < 4:
@@ -74,6 +83,10 @@ class SystemConfig:
             raise ValueError("environment must be 'wan' or 'lan'")
         if self.total_block_rate <= 0:
             raise ValueError("total block rate must be positive")
+        if self.runtime not in RUNTIME_KINDS:
+            raise ValueError(f"runtime must be one of {RUNTIME_KINDS}")
+        if self.realtime_timescale <= 0:
+            raise ValueError("realtime_timescale must be positive")
 
     @property
     def m(self) -> int:
@@ -132,8 +145,10 @@ class ReplicaInstanceContext(InstanceContext):
     def __init__(self, replica: "MultiBFTReplica", instance_id: int) -> None:
         self.replica = replica
         self.instance_id = instance_id
+        # Hot-path binding: the instances read the clock constantly.
+        self.now = replica.now
 
-    def now(self) -> float:
+    def now(self) -> float:  # shadowed per-instance in __init__
         return self.replica.now()
 
     def send(self, dest: int, message: Any, size_bytes: int) -> None:
@@ -188,14 +203,20 @@ class MultiBFTReplica(Node):
     def __init__(
         self,
         node_id: int,
-        simulator: Simulator,
-        network: Network,
+        runtime: Runtime,
         config: SystemConfig,
         resources: ResourceModel,
     ) -> None:
-        super().__init__(node_id, simulator, network)
+        super().__init__(node_id, runtime)
         self.config = config
         self.resources = resources
+        #: hot-path binding: per-message accounting avoids a dict lookup.
+        #: Bound lazily on first use so the per-replica usage records are
+        #: created in first-activity order (the aggregation in Table 1 sums
+        #: floats in that order, and it must stay reproducible).
+        self._usage = None
+        self._message_handling_cost = resources.cost_model.message_handling
+        self._per_byte_cost = resources.cost_model.per_byte
         self.rank_state = RankState()
         self.quorum = quorum_threshold(config.n)
         self.metrics = MetricsCollector(bin_width=config.bin_width)
@@ -348,9 +369,34 @@ class MultiBFTReplica(Node):
         """Hook for systems wired to a real transaction workload."""
         return Batch.empty()
 
+    # ----------------------------------------------------------------- faults
+    def on_recover(self) -> None:
+        """Re-arm proposal pacing after a crash–recover cycle.
+
+        ``crash()`` drops every timer; the replica's *state* (logs, votes,
+        ordering progress) survives, but without this hook a recovered
+        leader would never propose again.  View-change timers need no
+        resurrection here: they re-arm lazily from the message flow the
+        replica sees once it rejoins.
+        """
+        for instance_id in self.paced_instance_ids():
+            instance = self.instances[instance_id]
+            if instance.leader != self.node_id:
+                continue
+            if not self.has_timer(f"pace:{instance_id}"):
+                self.set_timer(
+                    f"pace:{instance_id}",
+                    0.01,
+                    lambda iid=instance_id: self._proposal_tick(iid),
+                )
+
     # --------------------------------------------------------------- messaging
     def send_protocol_message(self, dest: int, message: Any, size_bytes: int) -> None:
-        self.resources.record_bytes_sent(self.node_id, size_bytes)
+        usage = self._usage
+        if usage is None:
+            usage = self._usage = self.resources.usage(self.node_id)
+        usage.bytes_sent += size_bytes
+        usage.cpu_seconds += self._per_byte_cost * size_bytes
         if dest == self.node_id:
             # Loopback without a network hop.
             self._dispatch(self.node_id, message)
@@ -358,16 +404,35 @@ class MultiBFTReplica(Node):
         self.send(dest, message, size_bytes)
 
     def multicast_protocol_message(self, message: Any, size_bytes: int) -> None:
-        receivers = self.network.registered_nodes()
-        self.resources.record_bytes_sent(self.node_id, size_bytes * max(0, len(receivers) - 1))
-        for receiver in receivers:
-            if receiver == self.node_id:
-                self._dispatch(self.node_id, message)
-            else:
-                self.send(receiver, message, size_bytes)
+        receivers = self.runtime.registered_nodes()
+        node_id = self.node_id
+        sent_bytes = size_bytes * max(0, len(receivers) - 1)
+        usage = self._usage
+        if usage is None:
+            usage = self._usage = self.resources.usage(self.node_id)
+        usage.bytes_sent += sent_bytes
+        usage.cpu_seconds += self._per_byte_cost * sent_bytes
+        # Fan out in ascending id order with the local dispatch in our own
+        # sorted slot, exactly as a per-receiver loop would: protocol
+        # reactions to our own message interleave with the remaining sends
+        # the same way they always did.
+        below = [r for r in receivers if r < node_id]
+        above = [r for r in receivers if r > node_id]
+        if below:
+            self.multicast(below, message, size_bytes)
+        self._dispatch(node_id, message)
+        if above:
+            self.multicast(above, message, size_bytes)
 
     def on_message(self, sender: int, message: Any) -> None:
-        self.resources.record_message_handled(self.node_id, getattr(message, "size_bytes", 0))
+        usage = self._usage
+        if usage is None:
+            usage = self._usage = self.resources.usage(self.node_id)
+        usage.messages_handled += 1
+        usage.cpu_seconds += (
+            self._message_handling_cost
+            + self._per_byte_cost * getattr(message, "size_bytes", 0)
+        )
         self._dispatch(sender, message)
 
     def _dispatch(self, sender: int, message: Any) -> None:
@@ -460,7 +525,7 @@ class MultiBFTReplica(Node):
 
 
 class MultiBFTSystem:
-    """Builds and runs one Multi-BFT deployment on the simulator."""
+    """Builds and runs one Multi-BFT deployment on an execution runtime."""
 
     replica_class: Type[MultiBFTReplica] = MultiBFTReplica
 
@@ -474,11 +539,13 @@ class MultiBFTSystem:
             config = replace(config, faults=effective_faults)
         self.config = config
         self.trace = TraceRecorder(enabled=config.trace)
-        self.simulator = Simulator(seed=config.seed, trace=self.trace)
-        self.network = Network(
-            self.simulator,
+        self.runtime: Runtime = build_runtime(
+            config.runtime,
+            seed=config.seed,
             latency=config.latency_model(),
-            config=config.network_config(),
+            network_config=config.network_config(),
+            trace=self.trace,
+            time_scale=config.realtime_timescale,
         )
         self.resources = ResourceModel()
         self.effective_faults = effective_faults
@@ -490,14 +557,18 @@ class MultiBFTSystem:
                 replica.traffic_stream = self.traffic_stream
             self.replicas[replica_id] = replica
         self.fault_injector = FaultInjector(
-            self.simulator, self.replicas, self.effective_faults, network=self.network
+            self.runtime, self.replicas, self.effective_faults, network=self.runtime
         )
 
     # ------------------------------------------------------------- factories
     def build_replica(self, replica_id: int) -> MultiBFTReplica:
-        return self.replica_class(
-            replica_id, self.simulator, self.network, self.config, self.resources
-        )
+        return self.replica_class(replica_id, self.runtime, self.config, self.resources)
+
+    # ---------------------------------------------------------- introspection
+    @property
+    def simulator(self):
+        """The DES backend's simulator (diagnostics; None on other backends)."""
+        return getattr(self.runtime, "simulator", None)
 
     # ------------------------------------------------------------------- run
     def observer_id(self) -> int:
@@ -519,14 +590,14 @@ class MultiBFTSystem:
         self.fault_injector.arm()
         for replica in self.replicas.values():
             replica.start()
-        self.simulator.run(until=self.config.duration)
+        self.runtime.run(until=self.config.duration)
         return self.collect_result()
 
     def collect_result(self) -> SystemResult:
         observer = self.replicas[self.observer_id()]
         # Attribute network byte counts to per-replica resource usage so that
         # the bandwidth numbers reflect what was actually pushed to the NIC.
-        for replica_id, byte_count in self.network.stats.bytes_per_node.items():
+        for replica_id, byte_count in self.runtime.stats.bytes_per_node.items():
             usage = self.resources.usage(replica_id)
             usage.bytes_sent = max(usage.bytes_sent, byte_count)
         metrics = observer.metrics.summarise(
@@ -552,7 +623,7 @@ class MultiBFTSystem:
         return SystemResult(
             metrics=metrics,
             confirmed=observer.orderer.confirmed,
-            network_stats=self.network.stats,
+            network_stats=self.runtime.stats,
             resources=self.resources,
             throughput_series=observer.metrics.throughput.series(until=self.config.duration),
             view_change_times=sorted(view_changes),

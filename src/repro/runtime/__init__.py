@@ -1,0 +1,62 @@
+"""Pluggable execution backends behind one sans-I/O seam.
+
+Protocol code (nodes, consensus state machines, the Multi-BFT systems)
+imports *only* from this package — never from ``repro.sim.simulator`` or
+``repro.sim.network`` — and therefore runs unchanged on every backend:
+
+========== ============================================ ====================
+backend    class                                        time
+========== ============================================ ====================
+``des``    :class:`~repro.runtime.des.DESRuntime`       virtual (simulated)
+``realtime`` :class:`~repro.runtime.realtime.RealtimeRuntime` wall clock
+========== ============================================ ====================
+
+Use :func:`build_runtime` to construct a backend by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.base import Runtime, RUNTIME_KINDS
+from repro.runtime.des import DESRuntime
+from repro.runtime.realtime import RealtimeRuntime
+from repro.sim.latency import LatencyModel
+from repro.sim.network import NetworkConfig, NetworkStats
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "Runtime",
+    "RUNTIME_KINDS",
+    "DESRuntime",
+    "RealtimeRuntime",
+    "NetworkConfig",
+    "NetworkStats",
+    "build_runtime",
+]
+
+
+def build_runtime(
+    kind: str,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    network_config: Optional[NetworkConfig] = None,
+    trace: Optional[TraceRecorder] = None,
+    time_scale: float = 1.0,
+) -> Runtime:
+    """Construct the execution backend named ``kind``.
+
+    ``time_scale`` only applies to the realtime backend (wall seconds per
+    virtual second; e.g. ``0.1`` runs a 10 s scenario in ~1 s of wall time).
+    """
+    if kind == "des":
+        return DESRuntime(seed=seed, latency=latency, config=network_config, trace=trace)
+    if kind == "realtime":
+        return RealtimeRuntime(
+            seed=seed,
+            latency=latency,
+            config=network_config,
+            trace=trace,
+            time_scale=time_scale,
+        )
+    raise ValueError(f"unknown runtime {kind!r}; expected one of {RUNTIME_KINDS}")

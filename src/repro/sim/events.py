@@ -1,52 +1,85 @@
-"""Event queue primitives for the discrete-event simulator."""
+"""Event queue primitives for the discrete-event simulator.
+
+The queue is the hottest data structure in a DES run (one push/pop per
+message delivery and per timer), so it is built for allocation thrift:
+
+* heap entries are plain tuples ``(time, seq, ...)`` so ordering is decided
+  by C-level tuple comparison instead of a Python ``__lt__`` per sift step;
+* cancellable events are slim ``__slots__`` objects (no dataclass protocol);
+* fire-and-forget deliveries skip the :class:`Event` wrapper entirely via
+  :meth:`EventQueue.push_call`, which stores the callable and its three
+  arguments directly in the heap tuple — no closure, no handle.
+
+Events are ordered by ``(time, seq)`` so that two events scheduled for the
+same instant fire in scheduling order, keeping runs deterministic.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled event.
+    """A scheduled, cancellable event handle.
 
-    Events are ordered by ``(time, seq)`` so that two events scheduled for
-    the same instant fire in scheduling order, keeping runs deterministic.
+    ``popped`` is set by the queue when the event is handed to the simulator;
+    a late ``cancel()`` on a popped event must not touch the live-event
+    count.  ``live`` tracks whether the event still counts toward the owning
+    queue's live total; it is cleared exactly once, whichever happens first:
+    queue-level cancel, delivery, or lazy discard of a directly-cancelled
+    event.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    #: set by the queue when the event is handed to the simulator; a late
-    #: ``cancel()`` on a popped event must not touch the live-event count
-    popped: bool = field(compare=False, default=False)
-    #: whether the event still counts toward the owning queue's live total;
-    #: cleared exactly once, whichever happens first: queue-level cancel,
-    #: delivery, or lazy discard of a directly-cancelled event
-    live: bool = field(compare=False, default=True)
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "popped", "live")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.popped = False
+        self.live = True
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
         self.cancelled = True
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, label={self.label!r})"
+
 
 class EventQueue:
-    """A cancellable priority queue of :class:`Event` objects."""
+    """A cancellable priority queue of scheduled work.
+
+    Two entry kinds share one heap (and one ``seq`` counter, so cross-kind
+    FIFO ties stay deterministic):
+
+    * ``(time, seq, Event)`` — cancellable, pushed by :meth:`push`;
+    * ``(time, seq, fn, a, b, c)`` — a direct call ``fn(a, b, c)``, pushed by
+      :meth:`push_call`; never cancellable, used for message deliveries.
+
+    ``seq`` is unique, so tuple comparison never reaches the third element.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        event = Event(time=time, seq=next(self._counter), callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, (time, event.seq, event))
         self._live += 1
         return event
+
+    def push_call(self, time: float, fn: Callable[..., None], a: Any, b: Any, c: Any) -> None:
+        """Schedule ``fn(a, b, c)`` at ``time`` with no cancellation handle."""
+        heapq.heappush(self._heap, (time, next(self._counter), fn, a, b, c))
+        self._live += 1
 
     def _forget(self, event: Event) -> None:
         """Remove ``event`` from the live count exactly once.
@@ -61,23 +94,40 @@ class EventQueue:
             self._live -= 1
 
     def pop(self) -> Optional[Event]:
-        """Pop the earliest non-cancelled event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            self._forget(event)
-            if event.cancelled:
+        """Pop the earliest non-cancelled event, or ``None`` if empty.
+
+        Direct-call entries are wrapped into a fired-once :class:`Event` so
+        callers see one uniform handle type.  The simulator's run loop reads
+        the heap directly and never pays for this wrapper.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            payload = entry[2]
+            if payload.__class__ is not Event:
+                self._live -= 1
+                fn, a, b, c = entry[2], entry[3], entry[4], entry[5]
+                wrapper = Event(entry[0], entry[1], lambda: fn(a, b, c))
+                wrapper.live = False
+                wrapper.popped = True
+                return wrapper
+            self._forget(payload)
+            if payload.cancelled:
                 continue
-            event.popped = True
-            return event
+            payload.popped = True
+            return payload
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest live event without popping."""
-        while self._heap and self._heap[0].cancelled:
-            self._forget(heapq.heappop(self._heap))
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                self._forget(heapq.heappop(heap)[2])
+                continue
+            return heap[0][0]
+        return None
 
     def cancel(self, event: Event) -> None:
         if event.popped or event.cancelled:

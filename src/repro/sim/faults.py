@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKI
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adversary.interceptor import AdversaryInterceptor
     from repro.adversary.spec import AdversarySpec
+    from repro.runtime.base import Runtime
     from repro.sim.network import Network
 
 
@@ -243,12 +244,17 @@ class FaultInjector:
 
     def __init__(
         self,
-        simulator,
+        runtime: "Runtime",
         nodes: Dict[int, "object"],
         config: FaultConfig,
-        network: Optional["Network"] = None,
+        network: "Optional[Network | Runtime]" = None,
     ) -> None:
-        self.simulator = simulator
+        # ``runtime`` needs the scheduling surface (schedule_at / now);
+        # ``network`` needs the dynamics surface (set_partition /
+        # heal_partition / set_latency_scale / set_drop_probability /
+        # drop_probability).  A Runtime provides both, so systems pass the
+        # runtime twice; sim-layer tests still pass a bare Network.
+        self.runtime = runtime
         self.nodes = nodes
         self.config = config
         self.network = network
@@ -258,7 +264,7 @@ class FaultInjector:
         self.interceptors: Dict[int, "AdversaryInterceptor"] = {}
 
     def arm(self) -> None:
-        """Install all configured events on the simulator."""
+        """Install all configured events on the runtime timeline."""
         for spec in self.config.crashes:
             self._arm_crash(spec)
         if self.config.has_network_dynamics() and self.network is None:
@@ -271,7 +277,7 @@ class FaultInjector:
             self._arm_loss_burst(burst)
         if self.config.adversary is not None:
             self.interceptors = self.config.adversary.install(
-                self.simulator, self.nodes, event_log=self.event_log
+                self.runtime, self.nodes, event_log=self.event_log
             )
 
     def adversary_stats(self) -> Dict[str, int]:
@@ -290,10 +296,10 @@ class FaultInjector:
 
         def _crash() -> None:
             node.crash()
-            self.crash_log.append((self.simulator.now(), spec.replica, "crash"))
-            self.event_log.append((self.simulator.now(), "crash", f"replica={spec.replica}"))
+            self.crash_log.append((self.runtime.now(), spec.replica, "crash"))
+            self.event_log.append((self.runtime.now(), "crash", f"replica={spec.replica}"))
 
-        self.simulator.schedule_at(spec.at, _crash, label=f"crash:{spec.replica}")
+        self.runtime.schedule_at(spec.at, _crash, label=f"crash:{spec.replica}")
 
         if spec.recover_at is not None:
             if spec.recover_at <= spec.at:
@@ -301,12 +307,12 @@ class FaultInjector:
 
             def _recover() -> None:
                 node.recover()
-                self.crash_log.append((self.simulator.now(), spec.replica, "recover"))
+                self.crash_log.append((self.runtime.now(), spec.replica, "recover"))
                 self.event_log.append(
-                    (self.simulator.now(), "recover", f"replica={spec.replica}")
+                    (self.runtime.now(), "recover", f"replica={spec.replica}")
                 )
 
-            self.simulator.schedule_at(
+            self.runtime.schedule_at(
                 spec.recover_at, _recover, label=f"recover:{spec.replica}"
             )
 
@@ -317,17 +323,17 @@ class FaultInjector:
         def _split() -> None:
             network.set_partition(spec.groups)
             self.event_log.append(
-                (self.simulator.now(), "partition", f"groups={spec.groups}")
+                (self.runtime.now(), "partition", f"groups={spec.groups}")
             )
 
-        self.simulator.schedule_at(spec.at, _split, label="partition:split")
+        self.runtime.schedule_at(spec.at, _split, label="partition:split")
         if spec.heal_at is not None:
 
             def _heal() -> None:
                 network.heal_partition()
-                self.event_log.append((self.simulator.now(), "heal", ""))
+                self.event_log.append((self.runtime.now(), "heal", ""))
 
-            self.simulator.schedule_at(spec.heal_at, _heal, label="partition:heal")
+            self.runtime.schedule_at(spec.heal_at, _heal, label="partition:heal")
 
     def _arm_degradation(self, spec: DegradationSpec) -> None:
         network = self.network
@@ -335,29 +341,29 @@ class FaultInjector:
         def _begin() -> None:
             network.set_latency_scale(spec.factor)
             self.event_log.append(
-                (self.simulator.now(), "degrade", f"factor={spec.factor}")
+                (self.runtime.now(), "degrade", f"factor={spec.factor}")
             )
 
         def _end() -> None:
             network.set_latency_scale(1.0)
-            self.event_log.append((self.simulator.now(), "degrade-end", ""))
+            self.event_log.append((self.runtime.now(), "degrade-end", ""))
 
-        self.simulator.schedule_at(spec.at, _begin, label="degrade:begin")
-        self.simulator.schedule_at(spec.until, _end, label="degrade:end")
+        self.runtime.schedule_at(spec.at, _begin, label="degrade:begin")
+        self.runtime.schedule_at(spec.until, _end, label="degrade:end")
 
     def _arm_loss_burst(self, spec: LossBurstSpec) -> None:
         network = self.network
-        baseline = network.config.drop_probability
+        baseline = network.drop_probability
 
         def _begin() -> None:
             network.set_drop_probability(spec.drop_probability)
             self.event_log.append(
-                (self.simulator.now(), "loss-burst", f"p={spec.drop_probability}")
+                (self.runtime.now(), "loss-burst", f"p={spec.drop_probability}")
             )
 
         def _end() -> None:
             network.set_drop_probability(baseline)
-            self.event_log.append((self.simulator.now(), "loss-burst-end", ""))
+            self.event_log.append((self.runtime.now(), "loss-burst-end", ""))
 
-        self.simulator.schedule_at(spec.at, _begin, label="loss:begin")
-        self.simulator.schedule_at(spec.until, _end, label="loss:end")
+        self.runtime.schedule_at(spec.at, _begin, label="loss:begin")
+        self.runtime.schedule_at(spec.until, _end, label="loss:end")

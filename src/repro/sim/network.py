@@ -5,13 +5,27 @@ nor Ladon is CPU-bound.  We model transmission time as ``bytes / bandwidth``
 serialised per sender (a sender's messages queue behind each other on its
 uplink) plus the propagation delay from the latency model.  Byte counts feed
 the Table 1 bandwidth accounting.
+
+This module sits on the simulation hot path (one :meth:`Network.send` per
+protocol message), so delivery is scheduled through the scheduler's
+closure-free ``schedule_call`` fast path and :meth:`Network.multicast` runs
+one fused fan-out loop with the per-receiver arithmetic hoisted, instead of
+re-entering :meth:`send` per receiver.  The per-receiver *order* of
+operations (stats, drop checks, uplink serialisation, latency draw) is
+identical to a sequence of unicasts, so fused fan-out leaves event ordering
+and RNG streams byte-for-byte unchanged.
+
+The ``simulator`` collaborator is duck-typed: anything exposing ``now()``,
+``schedule_call(time, fn, a, b, c)`` and a seeded ``rng`` works, which is how
+the realtime runtime reuses this exact transport model on a wall-clock
+scheduler.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.sim.latency import LatencyModel, UniformLatency
 
@@ -82,6 +96,7 @@ class Network:
         self.config = config if config is not None else NetworkConfig()
         self.stats = NetworkStats()
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
+        self._registered_sorted: List[int] = []
         self._uplink_free_at: Dict[int, float] = {}
         self._link_filter: Optional[Callable[[int, int], bool]] = None
         self._partition_group: Optional[Dict[int, int]] = None
@@ -95,9 +110,11 @@ class Network:
             raise ValueError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
         self._uplink_free_at[node_id] = 0.0
+        self._registered_sorted = sorted(self._handlers.keys())
 
     def unregister(self, node_id: int) -> None:
         self._handlers.pop(node_id, None)
+        self._registered_sorted = sorted(self._handlers.keys())
 
     def set_link_filter(self, predicate: Optional[Callable[[int, int], bool]]) -> None:
         """Install a predicate(sender, receiver) -> deliverable? (None = all)."""
@@ -139,6 +156,11 @@ class Network:
             raise ValueError("drop probability must be in [0, 1)")
         self.config.drop_probability = probability
 
+    @property
+    def drop_probability(self) -> float:
+        """The current uniform message-loss probability."""
+        return self.config.drop_probability
+
     def _partition_blocks(self, sender: int, receiver: int) -> bool:
         if self._partition_group is None:
             return False
@@ -150,64 +172,154 @@ class Network:
     # --------------------------------------------------------------- sending
     def send(self, sender: int, receiver: int, message: Any, size_bytes: int = 0) -> None:
         """Send one message; loopback messages are delivered with zero latency."""
-        self.stats.record_send(sender, size_bytes)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        per_node = stats.bytes_per_node
+        per_node[sender] = per_node.get(sender, 0) + size_bytes
+        per_node = stats.messages_per_node
+        per_node[sender] = per_node.get(sender, 0) + 1
         if self._link_filter is not None and not self._link_filter(sender, receiver):
-            self.stats.record_drop("link-filter")
+            stats.record_drop("link-filter")
             return
-        if self._partition_blocks(sender, receiver):
-            self.stats.record_drop("partition")
+        if self._partition_group is not None and self._partition_blocks(sender, receiver):
+            stats.record_drop("partition")
             return
-        if self.config.drop_probability and self._rng.random() < self.config.drop_probability:
-            self.stats.record_drop("loss")
+        config = self.config
+        if config.drop_probability and self._rng.random() < config.drop_probability:
+            stats.record_drop("loss")
             return
 
         now = self.simulator.now()
-        transmission = (
-            size_bytes / self.config.bandwidth_of(sender) if size_bytes else 0.0
-        )
+        if size_bytes:
+            bandwidth = config.node_bandwidth
+            if bandwidth:
+                bandwidth = bandwidth.get(sender, config.bandwidth_bytes_per_s)
+            else:
+                bandwidth = config.bandwidth_bytes_per_s
+            transmission = size_bytes / bandwidth
+        else:
+            transmission = 0.0
         # Serialise on the sender's uplink.
-        uplink_free = max(self._uplink_free_at.get(sender, 0.0), now)
+        uplink_free = self._uplink_free_at.get(sender, 0.0)
+        if uplink_free < now:
+            uplink_free = now
         departure = uplink_free + transmission
         self._uplink_free_at[sender] = departure
         propagation = self.latency.delay(sender, receiver, self._rng) * self._latency_scale
-        arrival = departure + propagation + self.config.processing_delay
-        self._schedule_delivery(sender, receiver, message, arrival)
+        if propagation < 0.0:
+            # Catch latency-model bugs at the source so every backend fails
+            # identically (the DES scheduler would also reject the past-time
+            # delivery, but the realtime scheduler has no virtual "past").
+            raise ValueError(
+                f"latency model produced a negative delay for {sender}->{receiver}"
+            )
+        arrival = departure + propagation + config.processing_delay
+        self.simulator.schedule_call(arrival, self._deliver, sender, receiver, message)
 
         if (
-            self.config.duplicate_probability
-            and self._rng.random() < self.config.duplicate_probability
+            config.duplicate_probability
+            and self._rng.random() < config.duplicate_probability
         ):
             # Duplicate delivery: same payload arrives a second time after an
             # independent propagation delay (retransmission/route flap model).
-            self.stats.messages_duplicated += 1
+            stats.messages_duplicated += 1
             extra = self.latency.delay(sender, receiver, self._rng) * self._latency_scale
-            self._schedule_delivery(
-                sender, receiver, message, departure + extra + self.config.processing_delay
+            self.simulator.schedule_call(
+                departure + extra + config.processing_delay,
+                self._deliver,
+                sender,
+                receiver,
+                message,
             )
 
-    def _schedule_delivery(
-        self, sender: int, receiver: int, message: Any, arrival: float
-    ) -> None:
-        def _deliver() -> None:
-            handler = self._handlers.get(receiver)
-            if handler is None:
-                self.stats.record_drop("unregistered")
-                return
-            self.stats.messages_delivered += 1
-            handler(sender, message)
-
-        self.simulator.schedule_at(arrival, _deliver, label=f"deliver:{sender}->{receiver}")
+    def _deliver(self, sender: int, receiver: int, message: Any) -> None:
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            self.stats.record_drop("unregistered")
+            return
+        self.stats.messages_delivered += 1
+        handler(sender, message)
 
     def multicast(self, sender: int, receivers: "list[int] | tuple[int, ...]", message: Any, size_bytes: int = 0) -> None:
-        """Send the same message to every receiver (including possibly sender)."""
+        """Send the same message to every receiver (including possibly sender).
+
+        One fused fan-out: the shared per-send quantities (transmission time,
+        config lookups, bound methods) are hoisted out of the receiver loop,
+        and deliveries go through the closure-free ``schedule_call`` path.
+        The per-receiver operation order matches a loop of :meth:`send`
+        calls exactly, so statistics, uplink serialisation, and RNG draws are
+        indistinguishable from per-receiver unicasts.
+        """
+        stats = self.stats
+        config = self.config
+        link_filter = self._link_filter
+        drop_probability = config.drop_probability
+        duplicate_probability = config.duplicate_probability
+        partitioned = self._partition_group is not None
+        processing_delay = config.processing_delay
+        latency_scale = self._latency_scale
+        delay = self.latency.delay
+        rng_random = self._rng.random
+        schedule_call = self.simulator.schedule_call
+        deliver = self._deliver
+        bytes_per_node = stats.bytes_per_node
+        messages_per_node = stats.messages_per_node
+        if size_bytes:
+            bandwidth = config.node_bandwidth
+            if bandwidth:
+                bandwidth = bandwidth.get(sender, config.bandwidth_bytes_per_s)
+            else:
+                bandwidth = config.bandwidth_bytes_per_s
+            transmission = size_bytes / bandwidth
+        else:
+            transmission = 0.0
+        now = self.simulator.now()
+        uplink_free = self._uplink_free_at.get(sender, 0.0)
+
+        sent = 0
+        total_bytes = 0
         for receiver in receivers:
-            self.send(sender, receiver, message, size_bytes)
+            sent += 1
+            total_bytes += size_bytes
+            if link_filter is not None and not link_filter(sender, receiver):
+                stats.record_drop("link-filter")
+                continue
+            if partitioned and self._partition_blocks(sender, receiver):
+                stats.record_drop("partition")
+                continue
+            if drop_probability and rng_random() < drop_probability:
+                stats.record_drop("loss")
+                continue
+            if uplink_free < now:
+                uplink_free = now
+            departure = uplink_free + transmission
+            uplink_free = departure
+            propagation = delay(sender, receiver, self._rng) * latency_scale
+            if propagation < 0.0:
+                raise ValueError(
+                    f"latency model produced a negative delay for {sender}->{receiver}"
+                )
+            arrival = departure + propagation + processing_delay
+            schedule_call(arrival, deliver, sender, receiver, message)
+            if duplicate_probability and rng_random() < duplicate_probability:
+                stats.messages_duplicated += 1
+                extra = delay(sender, receiver, self._rng) * latency_scale
+                schedule_call(
+                    departure + extra + processing_delay, deliver, sender, receiver, message
+                )
+        if sent:
+            stats.messages_sent += sent
+            stats.bytes_sent += total_bytes
+            bytes_per_node[sender] = bytes_per_node.get(sender, 0) + total_bytes
+            messages_per_node[sender] = messages_per_node.get(sender, 0) + sent
+            self._uplink_free_at[sender] = uplink_free
 
     def broadcast(self, sender: int, message: Any, size_bytes: int = 0) -> None:
         """Send to every registered node, including the sender itself."""
-        for receiver in list(self._handlers.keys()):
-            self.send(sender, receiver, message, size_bytes)
+        self.multicast(sender, self._registered_sorted, message, size_bytes)
 
     # ------------------------------------------------------------- inspection
     def registered_nodes(self) -> "list[int]":
-        return sorted(self._handlers.keys())
+        """The registered node ids, ascending.  Callers must not mutate."""
+        return self._registered_sorted

@@ -1,8 +1,15 @@
 """Node (replica process) abstraction.
 
-A :class:`Node` owns a node id, a reference to the simulator and network,
-and provides timers plus send/multicast helpers.  Protocol replicas subclass
-it and implement :meth:`on_message`.
+A :class:`Node` owns a node id and a reference to its execution
+:class:`~repro.runtime.base.Runtime`, and provides timers plus
+send/multicast helpers.  Protocol replicas subclass it and implement
+:meth:`on_message`.  Nodes are *sans-I/O*: they never touch a simulator or
+a network directly, so the same node runs on the discrete-event backend and
+on the wall-clock backend.
+
+For the sim-layer tests and legacy wiring, ``Node(node_id, simulator,
+network)`` still works: the pair is adapted into a
+:class:`~repro.runtime.des.DESRuntime` on the fly.
 """
 
 from __future__ import annotations
@@ -10,17 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
-from repro.sim.events import Event
-from repro.sim.network import Network
-from repro.sim.simulator import Simulator
-
 
 @dataclass
 class Timer:
     """A cancellable timer owned by a node."""
 
     name: str
-    event: Event
+    event: Any  # a runtime scheduling handle: ``cancel()`` + ``cancelled``
 
     def cancel(self) -> None:
         self.event.cancel()
@@ -38,17 +41,23 @@ class Node:
     #: which may suppress, rewrite, or delay it.  None = honest node.
     interceptor: Optional[Any] = None
 
-    def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
+    def __init__(self, node_id: int, runtime: Any, network: Any = None) -> None:
+        if network is not None:
+            # Legacy wiring: Node(node_id, simulator, network).
+            from repro.runtime.des import DESRuntime
+
+            runtime = DESRuntime.wrap(runtime, network)
         self.node_id = node_id
-        self.simulator = simulator
-        self.network = network
+        self.runtime = runtime
         self.crashed = False
         self._timers: Dict[str, Timer] = {}
-        network.register(node_id, self._receive)
+        runtime.register(node_id, self._receive)
+        # Hot-path binding: ``self.now()`` goes straight to the backend clock.
+        self.now = runtime.now
 
     # ------------------------------------------------------------------ time
-    def now(self) -> float:
-        return self.simulator.now()
+    def now(self) -> float:  # shadowed per-instance in __init__
+        return self.runtime.now()
 
     # ------------------------------------------------------------- messaging
     def send(self, receiver: int, message: Any, size_bytes: int = 0) -> None:
@@ -58,16 +67,30 @@ class Node:
             self, receiver, message, size_bytes
         ):
             return
-        self.network.send(self.node_id, receiver, message, size_bytes)
+        self.runtime.send(self.node_id, receiver, message, size_bytes)
 
     def multicast(self, receivers, message: Any, size_bytes: int = 0) -> None:
+        """Send ``message`` to every receiver through one transport fan-out.
+
+        With an interceptor installed, each receiver is first offered to
+        ``interceptor.outbound`` (which may suppress, rewrite, or delay the
+        copy); the *pass-through* receivers then go through the exact same
+        fused ``runtime.multicast`` fan-out as the honest path, so
+        bandwidth, loss, and duplicate accounting cannot diverge between
+        the two paths.
+        """
         if self.crashed:
             return
         if self.interceptor is not None:
-            for receiver in receivers:
-                self.send(receiver, message, size_bytes)
-            return
-        self.network.multicast(self.node_id, receivers, message, size_bytes)
+            outbound = self.interceptor.outbound
+            receivers = [
+                receiver
+                for receiver in receivers
+                if not outbound(self, receiver, message, size_bytes)
+            ]
+            if not receivers:
+                return
+        self.runtime.multicast(self.node_id, receivers, message, size_bytes)
 
     def _receive(self, sender: int, message: Any) -> None:
         if self.crashed:
@@ -88,7 +111,7 @@ class Node:
             if not self.crashed:
                 callback()
 
-        event = self.simulator.schedule_after(delay, _fire, label=f"timer:{self.node_id}:{name}")
+        event = self.runtime.schedule_after(delay, _fire)
         timer = Timer(name=name, event=event)
         self._timers[name] = timer
         return timer
@@ -111,8 +134,26 @@ class Node:
         self._timers.clear()
 
     def recover(self) -> None:
-        """Recover a crashed node (it rejoins with its pre-crash state)."""
+        """Recover a crashed node.
+
+        The node rejoins with its pre-crash *state* (message logs, votes,
+        ordering progress), but its timers were dropped by :meth:`crash` —
+        a recovered process must re-arm whatever timers its protocol needs,
+        which is exactly what the :meth:`on_recover` hook is for.
+        """
+        if not self.crashed:
+            return
         self.crashed = False
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook: re-arm protocol-level timers after a crash–recover cycle.
+
+        Called by :meth:`recover` once ``crashed`` is cleared.  The base
+        node has no timers worth resurrecting; protocol replicas override
+        this (see ``MultiBFTReplica.on_recover``, which restarts proposal
+        pacing for the instances the replica leads).
+        """
 
     def start(self) -> None:
         """Hook called once by the system after every node is constructed."""

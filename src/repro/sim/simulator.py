@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
@@ -29,7 +30,7 @@ class Simulator:
 
     # ------------------------------------------------------------------ time
     def now(self) -> float:
-        return self.clock.now()
+        return self.clock._now
 
     @property
     def events_processed(self) -> int:
@@ -38,7 +39,7 @@ class Simulator:
     # ------------------------------------------------------------ scheduling
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual time ``time``."""
-        if time < self.now():
+        if time < self.clock._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now()})")
         return self.queue.push(time, callback, label)
 
@@ -46,7 +47,19 @@ class Simulator:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        return self.queue.push(self.now() + delay, callback, label)
+        return self.queue.push(self.clock._now + delay, callback, label)
+
+    def schedule_call(self, time: float, fn: Callable[..., None], a: Any, b: Any, c: Any) -> None:
+        """Hot path: schedule ``fn(a, b, c)`` with no cancellation handle.
+
+        Used by the network for message deliveries — no closure or
+        :class:`Event` is allocated.  The past-time guard is intentionally
+        kept (a delivery scheduled in the past is always a latency-model
+        bug).
+        """
+        if time < self.clock._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now()})")
+        self.queue.push_call(time, fn, a, b, c)
 
     def cancel(self, event: Event) -> None:
         self.queue.cancel(event)
@@ -60,21 +73,39 @@ class Simulator:
         """Process events until the queue drains, ``until`` passes, or limits hit.
 
         Returns the clock value when the loop stops.
+
+        The loop reads the queue's heap directly: entries are either
+        ``(time, seq, Event)`` or ``(time, seq, fn, a, b, c)`` direct calls
+        (see :class:`~repro.sim.events.EventQueue`), and dispatching them
+        inline avoids a Python frame per event.
         """
         self._stopped = False
+        queue = self.queue
+        heap = queue._heap
+        clock = self.clock
+        heappop = heapq.heappop
         processed = 0
-        while self.queue and not self._stopped:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.clock.advance_to(until)
-                return self.now()
-            event = self.queue.pop()
-            if event is None:
-                break
-            self.clock.advance_to(event.time)
-            event.callback()
+        events_class = Event
+        while heap and not self._stopped:
+            entry = heap[0]
+            payload = entry[2]
+            is_event = payload.__class__ is events_class
+            if is_event and payload.cancelled:
+                heappop(heap)
+                queue._forget(payload)
+                continue
+            if until is not None and entry[0] > until:
+                clock.advance_to(until)
+                return until
+            heappop(heap)
+            clock._now = entry[0]
+            if is_event:
+                queue._forget(payload)
+                payload.popped = True
+                payload.callback()
+            else:
+                queue._live -= 1
+                payload(entry[3], entry[4], entry[5])
             self._events_processed += 1
             processed += 1
             if max_events is not None and processed >= max_events:
@@ -83,9 +114,9 @@ class Simulator:
         # breaking on ``max_events`` (or ``stop()``) leaves live events behind,
         # and jumping the clock past them would make a later ``run()`` process
         # them "in the past".
-        if until is not None and self.now() < until and not self._stopped and not self.queue:
-            self.clock.advance_to(until)
-        return self.now()
+        if until is not None and clock._now < until and not self._stopped and not queue:
+            clock.advance_to(until)
+        return clock._now
 
     def step(self) -> bool:
         """Process exactly one event; returns False when the queue is empty."""

@@ -1,0 +1,401 @@
+"""Tests for the sans-I/O runtime seam and its two execution backends.
+
+Covers:
+
+* the architectural lint: no protocol/consensus module may import the
+  simulator or the network directly — everything goes through
+  :mod:`repro.runtime`;
+* the :class:`~repro.runtime.des.DESRuntime` and
+  :class:`~repro.runtime.realtime.RealtimeRuntime` contracts (scheduling,
+  cancellation, transport, dynamics controls);
+* multicast-path alignment: an honest pass-through interceptor must be
+  network-level indistinguishable from no interceptor;
+* crash–recover timer semantics (the ``on_recover`` hook);
+* DES vs realtime equivalence: the same deterministic scenario confirms the
+  same block sequence on both backends (realtime variant marked ``slow``).
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.runtime import (
+    DESRuntime,
+    NetworkConfig,
+    RealtimeRuntime,
+    Runtime,
+    RUNTIME_KINDS,
+    build_runtime,
+)
+from repro.sim.latency import UniformLatency
+from repro.sim.node import Node
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+FORBIDDEN = re.compile(
+    r"^\s*(?:from\s+repro\.sim\.(?:simulator|network)\s+import|"
+    r"import\s+repro\.sim\.(?:simulator|network))",
+    re.MULTILINE,
+)
+
+#: packages that must stay sans-I/O (the runtime seam is their only backend)
+SANS_IO_PACKAGES = ("protocols", "consensus")
+
+
+# ----------------------------------------------------------------- the lint
+@pytest.mark.parametrize("package", SANS_IO_PACKAGES)
+def test_no_direct_simulator_or_network_imports(package):
+    offenders = []
+    package_dir = os.path.join(SRC, "repro", package)
+    for name in sorted(os.listdir(package_dir)):
+        if not name.endswith(".py"):
+            continue
+        text = open(os.path.join(package_dir, name), encoding="utf-8").read()
+        if FORBIDDEN.search(text):
+            offenders.append(f"{package}/{name}")
+    assert not offenders, (
+        f"sans-I/O violation: {offenders} import repro.sim.simulator / "
+        "repro.sim.network directly; protocol code must talk to repro.runtime"
+    )
+
+
+# ------------------------------------------------------------ the interface
+class TestBuildRuntime:
+    def test_kinds(self):
+        assert RUNTIME_KINDS == ("des", "realtime")
+
+    def test_builds_each_kind(self):
+        assert isinstance(build_runtime("des"), DESRuntime)
+        assert isinstance(build_runtime("realtime"), RealtimeRuntime)
+        assert isinstance(build_runtime("des"), Runtime)
+        assert isinstance(build_runtime("realtime"), Runtime)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_runtime("sockets")
+
+    def test_system_config_validates_runtime(self):
+        from repro.protocols.base import SystemConfig
+
+        with pytest.raises(ValueError):
+            SystemConfig(runtime="threads")
+        with pytest.raises(ValueError):
+            SystemConfig(runtime="realtime", realtime_timescale=0.0)
+
+    def test_cell_key_includes_runtime(self):
+        from repro.bench.config import ExperimentCell
+        from repro.bench.sweep import cell_key
+
+        des = ExperimentCell(protocol="ladon-pbft", n=4)
+        realtime = ExperimentCell(protocol="ladon-pbft", n=4, runtime="realtime")
+        assert cell_key(des) != cell_key(realtime)
+
+
+class _Echo(Node):
+    def __init__(self, node_id, runtime):
+        super().__init__(node_id, runtime)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((round(self.now(), 6), sender, message))
+
+
+class TestDESRuntime:
+    def _runtime(self):
+        return build_runtime(
+            "des",
+            seed=1,
+            latency=UniformLatency(base=0.01, jitter=0.0),
+            network_config=NetworkConfig(processing_delay=0.0),
+        )
+
+    def test_schedule_and_cancel(self):
+        runtime = self._runtime()
+        fired = []
+        runtime.schedule_at(1.0, lambda: fired.append("at"))
+        runtime.schedule_after(0.5, lambda: fired.append("after"))
+        handle = runtime.schedule_at(0.75, lambda: fired.append("cancelled"))
+        runtime.cancel(handle)
+        runtime.spawn(lambda: fired.append("spawned"))
+        end = runtime.run(until=2.0)
+        assert fired == ["spawned", "after", "at"]
+        assert end == 2.0
+        assert runtime.now() == 2.0
+
+    def test_transport_roundtrip(self):
+        runtime = self._runtime()
+        nodes = [_Echo(i, runtime) for i in range(3)]
+        assert runtime.registered_nodes() == [0, 1, 2]
+        nodes[0].send(1, "hi")
+        nodes[0].multicast([1, 2], "all")
+        runtime.run(until=1.0)
+        assert [m for _, _, m in nodes[1].received] == ["hi", "all"]
+        assert [m for _, _, m in nodes[2].received] == ["all"]
+        assert runtime.stats.messages_sent == 3
+        assert runtime.stats.messages_delivered == 3
+
+    def test_dynamics_controls(self):
+        runtime = self._runtime()
+        nodes = [_Echo(i, runtime) for i in range(4)]
+        runtime.set_partition([(0, 1), (2, 3)])
+        assert runtime.partitioned
+        nodes[0].send(2, "blocked")
+        runtime.heal_partition()
+        nodes[0].send(2, "flows")
+        runtime.set_drop_probability(0.5)
+        assert runtime.drop_probability == 0.5
+        runtime.set_drop_probability(0.0)
+        runtime.run(until=1.0)
+        assert [m for _, _, m in nodes[2].received] == ["flows"]
+        assert runtime.stats.drops_by_cause == {"partition": 1}
+
+    def test_legacy_node_wiring_still_works(self):
+        from repro.sim.network import Network
+        from repro.sim.simulator import Simulator
+
+        simulator = Simulator(seed=0)
+        network = Network(simulator, latency=UniformLatency(base=0.01, jitter=0.0))
+        a = _Echo.__new__(_Echo)
+        Node.__init__(a, 0, simulator, network)
+        a.received = []
+        assert isinstance(a.runtime, DESRuntime)
+        assert a.runtime.simulator is simulator
+        assert a.runtime.network is network
+
+
+class TestRealtimeRuntime:
+    def _runtime(self, **kwargs):
+        kwargs.setdefault("latency", UniformLatency(base=0.0, jitter=0.0))
+        kwargs.setdefault("network_config", NetworkConfig(processing_delay=0.0))
+        kwargs.setdefault("time_scale", 0.02)
+        return build_runtime("realtime", **kwargs)
+
+    def test_schedule_order_and_cancel(self):
+        runtime = self._runtime()
+        fired = []
+        runtime.schedule_at(0.2, lambda: fired.append("b"))
+        runtime.schedule_at(0.1, lambda: fired.append("a"))
+        handle = runtime.schedule_at(0.15, lambda: fired.append("x"))
+        handle.cancel()
+        runtime.schedule_at(0.2, lambda: fired.append("c"))  # FIFO at same time
+        end = runtime.run(until=0.5)
+        assert fired == ["a", "b", "c"]
+        assert end == 0.5
+        assert runtime.now() == 0.5
+
+    def test_open_ended_run_drains_and_stops(self):
+        runtime = self._runtime()
+        fired = []
+        runtime.schedule_at(0.05, lambda: fired.append(1))
+        runtime.run()
+        assert fired == [1]
+
+    def test_timers_rearm_during_run(self):
+        runtime = self._runtime()
+        fired = []
+
+        def tick():
+            fired.append(round(runtime.now(), 2))
+            if len(fired) < 3:
+                runtime.schedule_after(0.1, tick)
+
+        runtime.schedule_after(0.1, tick)
+        runtime.run(until=1.0)
+        assert len(fired) == 3
+
+    def test_transport_matches_des_semantics(self):
+        runtime = self._runtime()
+        nodes = [_Echo(i, runtime) for i in range(3)]
+        nodes[0].multicast([1, 2], "m")
+        nodes[1].send(2, "u")
+        runtime.run(until=0.2)
+        assert [m for _, _, m in nodes[2].received] == ["m", "u"]
+        assert runtime.stats.messages_sent == 3
+        assert runtime.stats.messages_delivered == 3
+
+    def test_events_processed_counts(self):
+        runtime = self._runtime()
+        for _ in range(5):
+            runtime.schedule_after(0.01, lambda: None)
+        runtime.run(until=0.1)
+        assert runtime.events_processed == 5
+
+    def test_callback_exception_propagates_out_of_run(self):
+        """Regression: asyncio swallows callback exceptions into its logger;
+        the runtime must instead end the run and re-raise from run(), like
+        the DES backend, rather than silently idling to the horizon with a
+        disarmed scheduler."""
+        runtime = self._runtime()
+        fired = []
+
+        def boom():
+            raise RuntimeError("protocol bug")
+
+        runtime.schedule_at(0.05, boom)
+        runtime.schedule_at(0.1, lambda: fired.append("after"))
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            runtime.run(until=1.0)
+        assert fired == []  # the run ended at the failure point
+
+
+# ---------------------------------------------------- multicast alignment
+class _PassThrough:
+    """An honest interceptor: observes every outbound message, changes none."""
+
+    def __init__(self):
+        self.seen = []
+
+    def outbound(self, node, receiver, message, size_bytes):
+        self.seen.append((node.node_id, receiver))
+        return False
+
+
+class TestMulticastInterceptorAlignment:
+    def _run(self, interceptor):
+        runtime = build_runtime(
+            "des",
+            seed=7,
+            latency=UniformLatency(base=0.01, jitter=0.005),
+            network_config=NetworkConfig(
+                processing_delay=0.0, drop_probability=0.1, duplicate_probability=0.1
+            ),
+        )
+        nodes = [_Echo(i, runtime) for i in range(5)]
+        nodes[0].interceptor = interceptor
+        for _ in range(20):
+            nodes[0].multicast([1, 2, 3, 4], "payload", size_bytes=4096)
+        runtime.run(until=5.0)
+        received = {n.node_id: n.received for n in nodes}
+        return runtime.stats, received
+
+    def test_pass_through_interceptor_is_network_level_identical(self):
+        """Regression: the interceptor path used to fall back to per-receiver
+        ``send``, which could diverge from the fused fan-out on bandwidth,
+        duplicate, and loss accounting.  With a pass-through interceptor the
+        two paths must now be byte-identical — same stats, same delivery
+        times — because the pass-through receivers go through the same
+        ``runtime.multicast`` fan-out."""
+        honest_stats, honest_received = self._run(None)
+        interceptor = _PassThrough()
+        intercepted_stats, intercepted_received = self._run(interceptor)
+        assert interceptor.seen  # the interceptor really was in the path
+        assert honest_stats == intercepted_stats
+        assert honest_received == intercepted_received
+
+
+# ------------------------------------------------------- crash / recovery
+class _TimerNode(Node):
+    def __init__(self, node_id, runtime):
+        super().__init__(node_id, runtime)
+        self.recoveries = 0
+        self.fired = []
+
+    def on_message(self, sender, message):
+        pass
+
+    def on_recover(self):
+        self.recoveries += 1
+        self.set_timer("heartbeat", 0.1, lambda: self.fired.append(self.now()))
+
+
+class TestCrashRecoverTimers:
+    def test_crash_drops_timers_and_recover_rearms_via_hook(self):
+        runtime = build_runtime("des", latency=UniformLatency(base=0.01, jitter=0.0))
+        node = _TimerNode(0, runtime)
+        node.set_timer("heartbeat", 0.1, lambda: node.fired.append(node.now()))
+        runtime.schedule_at(0.05, node.crash)
+        runtime.schedule_at(0.2, node.recover)
+        runtime.run(until=1.0)
+        assert node.recoveries == 1
+        # The pre-crash timer died with the crash; only the re-armed one fired.
+        assert node.fired == [pytest.approx(0.3)]
+        assert not node.crashed
+
+    def test_recover_without_crash_is_a_no_op(self):
+        runtime = build_runtime("des")
+        node = _TimerNode(0, runtime)
+        node.recover()
+        assert node.recoveries == 0
+
+    def test_recovered_leader_resumes_proposing(self):
+        """A crashed-and-recovered leader must re-arm proposal pacing: its
+        instance keeps confirming new blocks after the recovery."""
+        from repro.protocols.registry import build_system
+        from repro.protocols.base import SystemConfig
+        from repro.sim.faults import CrashSpec, FaultConfig
+
+        config = SystemConfig(
+            protocol="ladon-pbft",
+            n=4,
+            duration=12.0,
+            environment="lan",
+            batch_size=64,
+            faults=FaultConfig(crashes=(CrashSpec(replica=1, at=2.0, recover_at=4.0),)),
+        )
+        system = build_system(config)
+        result = system.run()
+        replica = system.replicas[1]
+        assert not replica.crashed
+        # Pacing was re-armed on recovery and instance 1 committed fresh
+        # blocks well after the recovery point.
+        late = [
+            c
+            for c in result.confirmed
+            if c.block.instance == 1 and c.confirmed_at > 5.0 and c.block.proposed_at > 4.0
+        ]
+        assert late, "recovered leader never proposed again"
+
+
+# ----------------------------------------------- DES vs realtime equivalence
+def _confirmed_sequence(runtime_kind, time_scale=1.0):
+    from repro.protocols.base import SystemConfig
+    from repro.protocols.registry import build_system
+
+    config = SystemConfig(
+        protocol="ladon-pbft",
+        n=4,
+        duration=2.0,
+        environment="lan",
+        batch_size=256,
+        seed=3,
+        runtime=runtime_kind,
+        realtime_timescale=time_scale,
+    )
+    result = build_system(config).run()
+    assert result.audit.safety_ok
+    return [(c.block.instance, c.block.rank, c.block.tx_count) for c in result.confirmed]
+
+
+@pytest.mark.slow
+def test_realtime_confirms_the_same_block_sequence_as_des():
+    """The tentpole equivalence property: one deterministic scenario, two
+    backends, the same confirmed-block sequence.  The realtime run executes
+    2 simulated seconds in ~1 s of wall time (time_scale=0.5)."""
+    des = _confirmed_sequence("des")
+    realtime = _confirmed_sequence("realtime", time_scale=0.5)
+    assert len(des) >= 20, "scenario too short to be meaningful"
+    overlap = min(len(des), len(realtime))
+    # Wall-clock jitter may cut the realtime run a block or two earlier or
+    # later at the horizon; the committed prefix must match exactly.
+    assert abs(len(des) - len(realtime)) <= 4
+    assert des[:overlap] == realtime[:overlap]
+
+
+def test_runtime_flag_flows_through_experiment_cell():
+    from repro.bench.config import ExperimentCell
+
+    cell = ExperimentCell(
+        protocol="ladon-pbft", n=4, runtime="realtime", realtime_timescale=0.25
+    )
+    config = cell.to_system_config()
+    assert config.runtime == "realtime"
+    assert config.realtime_timescale == 0.25
+    assert "rt:realtime" in cell.label()
+
+    with pytest.raises(ValueError):
+        from repro.bench.runner import run_cell
+
+        run_cell(
+            ExperimentCell(protocol="ladon-pbft", n=4, engine="analytical", runtime="realtime")
+        )
