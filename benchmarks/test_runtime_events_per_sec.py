@@ -1,14 +1,23 @@
 """Micro-benchmark: DES hot-path events/sec on the n=32 saturated cell.
 
-PR 4 overhauled the discrete-event hot path — tuple-keyed heap entries
-(C-level ordering instead of a Python ``__lt__`` per sift), ``__slots__``
-events, closure-free message deliveries (``schedule_call``), a fused
-multicast fan-out, and counter-based per-replica resource accounting.  The
-pre-overhaul baseline on the reference machine was ~57.3k events/sec; the
-overhauled path measures ~2.9x that (recorded in ``BENCH_pr4.json``).
+Two overhauls stack on this cell:
 
-Absolute wall-clock floors are hardware-dependent, so both guards scale
-their threshold by a measured interpreter-speed calibration (a fixed pure
+* **PR 4** (DES layer): tuple-keyed heap entries, ``__slots__`` events,
+  closure-free deliveries, fused multicast fan-out, counter-based resource
+  accounting — 57.3k → ~163k events/s on the reference machine.
+* **PR 5** (protocol layer): flyweight messages with construction-time
+  ``size_bytes``, replica-level route-table dispatch (no isinstance chains,
+  no per-instance hop), bitmask quorum tracking with interned int vote
+  keys, dispatch-site crypto accounting, the incremental O(log m)
+  confirmation bar, direct-to-heap delivery scheduling with inlined
+  latency rows, and commit-time state GC — ~163k → ~260k events/s
+  (~1.6x; BENCH_pr5.json holds the measured trajectory).  Profiles show
+  the remaining wall time is dominated by the irreducible per-event DES
+  transport work (heap pop, delivery dispatch, per-receiver scheduling
+  arithmetic), not the protocol layer.
+
+Absolute wall-clock floors are hardware-dependent, so every guard scales
+its threshold by a measured interpreter-speed calibration (a fixed pure
 Python loop timed on the reference machine): a slower CI box gets a
 proportionally lower floor instead of a spurious failure, while a real hot
 path regression still trips the assert on any machine.
@@ -21,9 +30,11 @@ import pytest
 from repro.bench.config import ExperimentCell
 from repro.protocols.registry import build_system
 
-#: events/sec of the n=32 saturated cell before / after the PR-4 overhaul,
+#: events/sec of the n=32 saturated cell before the PR-4 overhaul,
 #: measured on the reference machine (see BENCH_pr4.json)
-BASELINE_EPS_BEFORE = 57_325
+BASELINE_EPS_PRE_PR4 = 57_325
+#: events/sec after PR 4 (the baseline PR 5 improves on; BENCH_pr4.json)
+BASELINE_EPS_PR4 = 163_186
 #: wall seconds the calibration loop takes on the same reference machine
 #: (timed inside the function below — function-local loops run ~2x faster
 #: than the same statements at module scope)
@@ -62,26 +73,30 @@ def events_per_second(duration):
 
 
 def test_des_hot_path_sustains_baseline_throughput():
-    """Tier-1 guard: a short run must comfortably clear the pre-overhaul
-    events/sec (floor: 1.2x the old baseline, machine-calibrated, ~2.4x
-    headroom below the measured post-overhaul rate)."""
+    """Tier-1 guard: a short run must beat PR 4's post-overhaul rate with
+    margin (floor: 1.15x the PR-4 163k, machine-calibrated — the measured
+    PR-5 rate is ~1.6x, so this catches protocol-layer regressions while
+    riding out scheduler noise)."""
     factor = interpreter_speed_factor()
-    floor = 1.2 * BASELINE_EPS_BEFORE * factor
+    floor = 1.15 * BASELINE_EPS_PR4 * factor
     eps, events = events_per_second(duration=2.0)
     assert eps > floor, (
-        f"DES hot path regressed: {eps:,.0f} events/s < floor {floor:,.0f} "
+        f"protocol hot path regressed: {eps:,.0f} events/s < floor {floor:,.0f} "
         f"(machine speed factor {factor:.2f}, {events} events)"
     )
 
 
 @pytest.mark.slow
-def test_des_hot_path_events_per_sec_full():
-    """The PR-4 acceptance measurement: >=2x the pre-overhaul 57.3k events/s
-    on the full 10-simulated-second n=32 saturated cell (machine-calibrated)."""
+def test_protocol_hot_path_events_per_sec_full():
+    """The PR-5 measurement run: the full 10-simulated-second n=32 saturated
+    cell must hold >=1.35x PR 4's 163k events/s (machine-calibrated;
+    measured best ~1.6x, recorded in BENCH_pr5.json) — and, transitively,
+    >=3.8x the original pre-PR-4 57.3k."""
     factor = interpreter_speed_factor()
     eps, events = events_per_second(duration=10.0)
-    print(f"\nn=32 saturated DES hot path: {events:,} events at {eps:,.0f} events/s "
+    print(f"\nn=32 saturated hot path: {events:,} events at {eps:,.0f} events/s "
           f"(machine speed factor {factor:.2f})")
-    assert eps >= 2 * BASELINE_EPS_BEFORE * factor, (
-        f"expected >=2x the {BASELINE_EPS_BEFORE:,} baseline, got {eps:,.0f}"
+    assert eps >= 1.35 * BASELINE_EPS_PR4 * factor, (
+        f"expected >=1.35x the {BASELINE_EPS_PR4:,} PR-4 baseline, got {eps:,.0f}"
     )
+    assert eps >= 3.8 * BASELINE_EPS_PRE_PR4 * factor

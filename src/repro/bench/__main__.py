@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench scenario sweep --scenarios all --workers 4
     python -m repro.bench adversary list
     python -m repro.bench adversary run equivocation --n 4 --duration 20
+    python -m repro.bench perf --scaling --json BENCH.json
+    python -m repro.bench perf --n 128 --duration 10
 
 Each experiment name maps to the corresponding function in
 :mod:`repro.bench.experiments`; grid-shaped experiments (and scenario
@@ -462,6 +464,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return adversary_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.bench.perf import perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures via the sweep harness.",
@@ -493,6 +499,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("run          one cell on a chosen backend: 'run --runtime des|realtime'")
         print("scenario     named-scenario engine: 'scenario list|run|sweep' (sweepable)")
         print("adversary    Byzantine attack catalog: 'adversary list|run'")
+        print("perf         hot-path harness: events/s + peak RSS, '--scaling', '--profile'")
         return 0
 
     fn = EXPERIMENTS[args.experiment]

@@ -1,0 +1,190 @@
+"""Performance measurement harness: events/s, peak RSS, scaling sweeps.
+
+``python -m repro.bench perf`` runs saturated cells through the DES engine
+and reports wall-clock events/second plus peak resident set size, the two
+axes the protocol-layer hot path is engineered for (see EXPERIMENTS.md
+"Performance").  Modes:
+
+* default — one cell (``--n``, 10 simulated seconds by default);
+* ``--scaling`` — the scale-out curve over n ∈ {8, 16, 32, 64, 128}, one
+  **subprocess per cell** so each row's peak RSS is that cell's own
+  high-water mark rather than the running maximum of earlier cells;
+* ``--profile`` — attach cProfile and print the top-25 functions by
+  internal time (single-cell mode only; the profiler slows the run, so the
+  events/s of a profiled run is reported but not comparable).
+
+Peak RSS is read from ``resource.getrusage`` (ru_maxrss is in KiB on
+Linux), a *process* high-water mark — which is why the scaling sweep
+forks per cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.config import ExperimentCell
+
+#: the canonical scale-out ladder
+SCALING_NS = (8, 16, 32, 64, 128)
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes (Linux: KiB units)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return rss
+    return rss * 1024
+
+
+def machine_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def run_cell(
+    protocol: str = "ladon-pbft",
+    n: int = 32,
+    duration: float = 10.0,
+    batch_size: int = 1024,
+    environment: str = "wan",
+    seed: int = 0,
+    profile: bool = False,
+) -> dict:
+    """Run one saturated cell; return events/s, wall time, and peak RSS."""
+    from repro.protocols.registry import build_system
+
+    cell = ExperimentCell(
+        protocol=protocol,
+        n=n,
+        environment=environment,
+        duration=duration,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    system = build_system(cell.to_system_config())
+    rss_before = peak_rss_bytes()
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    start = time.perf_counter()
+    result = system.run()
+    elapsed = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
+        import io
+        import pstats
+
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(25)
+        print(buf.getvalue())
+    events = system.runtime.events_processed
+    return {
+        "cell": cell.label(),
+        "n": n,
+        "duration_simulated_s": duration,
+        "events": events,
+        "wall_seconds": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed),
+        "peak_rss_mb": round(peak_rss_bytes() / 1e6, 1),
+        "rss_before_mb": round(rss_before / 1e6, 1),
+        "confirmed_blocks": len(result.confirmed),
+        "throughput_tps": result.metrics.throughput_tps,
+        "audit_safe": bool(result.audit and result.audit.safety_ok),
+        "profiled": profile,
+    }
+
+
+def run_cell_subprocess(**kwargs) -> dict:
+    """Run one cell in a fresh interpreter so peak RSS is per-cell."""
+    import subprocess
+
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    code = (
+        "import json, sys\n"
+        f"sys.path.insert(0, {src_root!r})\n"
+        "from repro.bench.perf import run_cell\n"
+        f"print(json.dumps(run_cell(**{kwargs!r})))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _print_row(row: dict, stream=sys.stdout) -> None:
+    stream.write(
+        f"{row['cell']:28s} {row['events']:>10,} events  "
+        f"{row['wall_seconds']:>7.2f}s  {row['events_per_sec']:>9,} ev/s  "
+        f"peak RSS {row['peak_rss_mb']:>7.1f} MB\n"
+    )
+    stream.flush()
+
+
+def perf_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf",
+        description="Hot-path performance harness: events/s + peak RSS, "
+        "optionally profiled, optionally swept over the n scaling ladder.",
+    )
+    parser.add_argument("--protocol", default="ladon-pbft")
+    parser.add_argument("--n", type=int, default=32)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="simulated seconds (default: 10)")
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--environment", choices=["wan", "lan"], default="wan")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scaling", action="store_true",
+                        help=f"sweep n over {list(SCALING_NS)} instead of one cell")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the run and print the top-25 functions "
+                             "(single-cell mode)")
+    parser.add_argument("--json", dest="json_path",
+                        help="write the results (with machine info) as JSON")
+    args = parser.parse_args(argv)
+
+    if args.scaling and args.profile:
+        parser.error("--profile applies to a single cell, not --scaling")
+
+    rows: List[dict] = []
+    if args.scaling:
+        for n in SCALING_NS:
+            row = run_cell_subprocess(
+                protocol=args.protocol,
+                n=n,
+                duration=args.duration,
+                batch_size=args.batch_size,
+                environment=args.environment,
+                seed=args.seed,
+            )
+            rows.append(row)
+            _print_row(row)
+    else:
+        row = run_cell(
+            protocol=args.protocol,
+            n=args.n,
+            duration=args.duration,
+            batch_size=args.batch_size,
+            environment=args.environment,
+            seed=args.seed,
+            profile=args.profile,
+        )
+        rows.append(row)
+        _print_row(row)
+
+    if args.json_path:
+        payload = {"machine": machine_info(), "results": rows}
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    return 0

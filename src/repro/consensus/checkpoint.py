@@ -33,6 +33,8 @@ class CheckpointManager:
         self.replica_id = replica_id
         self.quorum = quorum
         self._states: Dict[int, CheckpointState] = {}
+        #: epochs below this are pruned and treated as settled (stable)
+        self._pruned_floor = 0
 
     def _state(self, epoch: int) -> CheckpointState:
         if epoch not in self._states:
@@ -54,6 +56,8 @@ class CheckpointManager:
 
     def on_checkpoint(self, message: CheckpointMessage) -> bool:
         """Record a checkpoint vote; True exactly when the epoch became stable."""
+        if message.epoch < self._pruned_floor:
+            return False  # settled epoch: don't resurrect pruned vote state
         state = self._state(message.epoch)
         state.votes.add(message.sender)
         if not state.stable and len(state.votes) >= self.quorum:
@@ -62,7 +66,28 @@ class CheckpointManager:
         return False
 
     def is_stable(self, epoch: int) -> bool:
+        if epoch < self._pruned_floor:
+            return True  # settled: the cluster advanced well past it
         return self._state(epoch).stable
 
     def votes(self, epoch: int) -> int:
+        if epoch < self._pruned_floor:
+            return self.quorum
         return len(self._state(epoch).votes)
+
+    def prune_below(self, floor: int) -> None:
+        """Drop vote state for epochs below ``floor`` (bounded memory).
+
+        Pruned epochs report as stable: the cluster has advanced at least
+        two epochs past them, so their checkpoint quorums are settled
+        history that can never gate progress again.
+        """
+        if floor <= self._pruned_floor:
+            return
+        self._pruned_floor = floor
+        for epoch in [e for e in self._states if e < floor]:
+            del self._states[epoch]
+
+    def tracked_epochs(self) -> int:
+        """Number of epochs currently holding vote state (diagnostics)."""
+        return len(self._states)

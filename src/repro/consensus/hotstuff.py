@@ -21,7 +21,7 @@ from repro.crypto.hashing import digest_hex
 from repro.workload.transactions import Batch
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainNode:
     """A node of the instance's chain at one replica."""
 
@@ -41,6 +41,9 @@ class ChainNode:
 class HotStuffInstance(ConsensusInstance):
     """One chained-HotStuff instance."""
 
+    #: see PBFTInstance.SELF_ACCOUNTING
+    SELF_ACCOUNTING: frozenset = frozenset()
+
     def __init__(
         self,
         config: InstanceConfig,
@@ -56,7 +59,24 @@ class HotStuffInstance(ConsensusInstance):
         self.propose_timeout = propose_timeout
         self.view_change_votes = QuorumTracker(config.quorum)
         self.view_change_in_progress = False
+        #: full Block history of this instance's commits; only appended when
+        #: ``retain_blocks`` (the bounded-memory system mode clears it off
+        #: the observer replica) — the compact ``commit_log`` always grows
         self.delivered_blocks: list = []
+        self.commit_log: list = []
+        self.retain_blocks = True
+        # Committed rounds fold into a contiguous watermark; chain nodes
+        # behind the watermark are pruned (their batches are released) and
+        # vote state for QC'd rounds is dropped, keeping memory O(window).
+        self._stable_round = 0
+        self._committed_above: set = set()
+        self._qc_stable = 0
+        self._qc_above: set = set()
+        self._handlers = {
+            HotStuffProposal: self._on_proposal,
+            HotStuffVote: self._on_vote,
+            HotStuffNewView: self._on_new_view,
+        }
 
     # ----------------------------------------------------------------- hooks
     def start(self) -> None:
@@ -103,12 +123,14 @@ class HotStuffInstance(ConsensusInstance):
     def on_message(self, sender: int, message: Any) -> None:
         if self.stopped:
             return
-        if isinstance(message, HotStuffProposal):
-            self._on_proposal(sender, message)
-        elif isinstance(message, HotStuffVote):
-            self._on_vote(sender, message)
-        elif isinstance(message, HotStuffNewView):
-            self._on_new_view(sender, message)
+        cls = message.__class__
+        handler = self._handlers.get(cls)
+        if handler is not None:
+            # Entry signature verification, accounted at the dispatch site
+            # (see PBFTInstance.on_message).
+            if cls not in self.SELF_ACCOUNTING:
+                self.context.record_crypto("verify")
+            handler(sender, message)
 
     # --------------------------------------------------------------- proposal
     def _validate_proposal(self, sender: int, message: HotStuffProposal) -> bool:
@@ -124,11 +146,10 @@ class HotStuffInstance(ConsensusInstance):
         return True
 
     def _on_proposal(self, sender: int, message: HotStuffProposal) -> None:
-        self.context.record_crypto("verify")
         if not self._validate_proposal(sender, message):
             return
-        if message.round in self.nodes:
-            return
+        if message.round in self.nodes or message.round < self._stable_round:
+            return  # in flight already, or committed and pruned (duplicate)
         node = ChainNode(
             round=message.round,
             digest=message.digest,
@@ -150,6 +171,9 @@ class HotStuffInstance(ConsensusInstance):
         self.context.record_crypto("sign")
         leader = self.config.leader_for_view(self.view)
         if leader == self.replica_id:
+            # Direct self-delivery bypasses on_message: account its entry
+            # verification here.
+            self.context.record_crypto("verify")
             self._on_vote(self.replica_id, vote)
         else:
             self.context.send(leader, vote, vote.size_bytes)
@@ -198,25 +222,74 @@ class HotStuffInstance(ConsensusInstance):
             tx_count_hint=target.tx_count,
             batch_submitted_at=target.batch_submitted_at,
         )
-        self.delivered_blocks.append(block)
+        self.commit_log.append((target.round, target.digest, now))
+        if self.retain_blocks:
+            self.delivered_blocks.append(block)
         self.context.deliver(block)
         self._on_committed(target, block)
+        self._gc_committed(target.round)
+
+    def _gc_committed(self, round: int) -> None:
+        """Prune chain nodes behind the contiguous committed watermark.
+
+        The commit rule only ever looks at ``[target, target + 3]`` and the
+        proposer only at ``round - 1``, both strictly above any committed
+        round, so nodes *below* the watermark (and their batch references)
+        are unreachable.  The node at the watermark itself is kept as the
+        duplicate-delivery sentinel for in-flight retransmissions.
+        """
+        above = self._committed_above
+        above.add(round)
+        stable = self._stable_round
+        nodes = self.nodes
+        while stable + 1 in above:
+            stable += 1
+            above.discard(stable)
+            nodes.pop(stable - 1, None)
+        self._stable_round = stable
+        # A committed round certifies its whole 3-chain, so QC bookkeeping
+        # below the committed watermark is settled: fold it forward.  This
+        # bounds _qc_above even when a view change leaves a gap of rounds
+        # that will never form a QC (their re-proposals are absorbed by the
+        # existing chain nodes) — commits advance through such gaps via the
+        # surviving parent links and drag the QC watermark along.
+        if stable > self._qc_stable:
+            self._qc_stable = stable
+            qc_above = self._qc_above
+            if qc_above:
+                self._qc_above = {r for r in qc_above if r > stable}
 
     def _on_committed(self, node: ChainNode, block: Block) -> None:
         """Hook for Ladon-HotStuff rank bookkeeping."""
 
     # ------------------------------------------------------------------ votes
     def _on_vote(self, sender: int, message: HotStuffVote) -> None:
-        self.context.record_crypto("verify")
         if message.view != self.view:
             return
         self._observe_vote_rank(message)
-        key = (message.view, message.round, message.digest)
+        round = message.round
+        if round <= self._qc_stable or round in self._qc_above:
+            # QC already formed and its vote state released: stale vote.
+            # (The explicit _qc_above check keeps the gate alive even when a
+            # view change leaves a never-QC'd gap below later QC'd rounds —
+            # a cleared key must never re-fire its quorum action.)
+            return
+        key = (message.view, round, message.digest)
         if not self.vote_tracker.add_vote(key, sender):
             return
         self.context.record_crypto("aggregate")
-        self.high_qc_round = max(self.high_qc_round, message.round)
-        self._on_qc_formed(message.round)
+        if round > self.high_qc_round:
+            self.high_qc_round = round
+        # The QC is formed; trailing votes for this round are dead weight.
+        self.vote_tracker.clear(key)
+        above = self._qc_above
+        above.add(round)
+        stable = self._qc_stable
+        while stable + 1 in above:
+            stable += 1
+            above.discard(stable)
+        self._qc_stable = stable
+        self._on_qc_formed(round)
 
     def _on_qc_formed(self, round: int) -> None:
         """Hook: called at the leader when a QC forms on ``round``."""
@@ -254,12 +327,12 @@ class HotStuffInstance(ConsensusInstance):
         self.context.record_crypto("sign")
         new_leader = self.config.leader_for_view(new_view)
         if new_leader == self.replica_id:
+            self.context.record_crypto("verify")
             self._on_new_view(self.replica_id, message)
         else:
             self.context.send(new_leader, message, message.size_bytes)
 
     def _on_new_view(self, sender: int, message: HotStuffNewView) -> None:
-        self.context.record_crypto("verify")
         if message.view <= self.view:
             return
         if self.config.leader_for_view(message.view) != self.replica_id:
@@ -273,6 +346,12 @@ class HotStuffInstance(ConsensusInstance):
         self.view = message.view
         self.view_change_in_progress = False
         self.next_round = max(self.next_round, self.last_committed_round + 1)
+        # Rounds above the committed prefix may be re-proposed (and re-voted)
+        # in the new view, so the QC watermark restarts from the committed
+        # prefix; committed rounds stay final in every view.
+        self._qc_stable = self.last_committed_round
+        self._qc_above.clear()
+        self.view_change_votes.clear(key)
         self.on_view_installed(self.view)
 
     def on_view_installed(self, view: int) -> None:

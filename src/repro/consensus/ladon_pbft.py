@@ -42,7 +42,10 @@ class LadonPBFTInstance(PBFTInstance):
         self.byzantine_rank_manipulation = byzantine_rank_manipulation
         # Rank reports received as the leader, keyed by the round in which the
         # sender produced them (reports from round n-1 gate the proposal of n).
+        # Pruned as the proposal cursor advances: reports for rounds the
+        # leader has already proposed past can never gate anything again.
         self.rank_reports: Dict[int, Dict[int, RankReport]] = {}
+        self._handlers[RankMessage] = self._on_rank_message
         # Set once the epoch's maxRank has been proposed; cleared on new epoch.
         self.stopped_for_epoch = False
         self._epoch_of_stop = -1
@@ -67,6 +70,14 @@ class LadonPBFTInstance(PBFTInstance):
         """Called by the hosting replica when the system advances to ``epoch``."""
         if self._epoch_of_stop < epoch:
             self.stopped_for_epoch = False
+
+    def propose(self, batch: Batch, now: float):
+        message = super().propose(batch, now)
+        if message is not None and self.rank_reports:
+            # Reports that gated this (or any earlier) round are dead.
+            for round in [r for r in self.rank_reports if r < message.round]:
+                del self.rank_reports[round]
+        return message
 
     def _build_pre_prepare(self, round: int, batch: Batch, now: float) -> PrePrepare:
         epoch = self.context.current_epoch()
@@ -198,13 +209,17 @@ class LadonPBFTInstance(PBFTInstance):
             self.context.send(leader, rank_msg, rank_msg.size_bytes)
 
     def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, RankMessage):
+        # Rank messages bypass the ``stopped`` gate (curRank keeps advancing
+        # from certified ranks even on a stopped instance), so they are
+        # routed before the base table dispatch.
+        if message.__class__ is RankMessage:
+            self.context.record_crypto("verify")
             self._on_rank_message(sender, message)
             return
         super().on_message(sender, message)
 
     def _on_rank_message(self, sender: int, message: RankMessage) -> None:
-        self.context.record_crypto("verify")
+        # (entry verification accounted at the dispatch site)
         # Any replica updates its curRank from a higher certified rank
         # (Algorithm 2, lines 37-41); only the leader stores the report.
         self.context.observe_rank(message.rank, message.certificate)
@@ -212,6 +227,10 @@ class LadonPBFTInstance(PBFTInstance):
             self._store_rank_report(sender, message)
 
     def _store_rank_report(self, sender: int, message: RankMessage) -> None:
+        if message.round < self.next_round - 1:
+            # Reports for rounds the proposal cursor has moved past can never
+            # gate a proposal again; storing them would regrow pruned state.
+            return
         per_round = self.rank_reports.setdefault(message.round, {})
         existing = per_round.get(sender)
         if existing is None or message.rank > existing.rank:

@@ -6,12 +6,28 @@ pre-prepare, prepare, commit with 2f+1 quorums — plus the view-change
 mechanism summarised in the paper (Sec. 5.2.2 "View-change mechanism"): a
 replica that times out waiting for progress sends a view-change message to
 the next leader, which installs the new view after collecting 2f+1 of them.
+
+Hot-path / memory notes:
+
+* messages dispatch through a per-instance ``type -> handler`` table (one
+  dict lookup instead of an isinstance chain);
+* prepare/commit votes are keyed ``(view, round, digest_id)`` where
+  ``digest_id`` is a small interned int — the hot vote keys never hash a
+  digest string — and the :class:`QuorumTracker` counts voters in bitmasks;
+* the round log is **O(active window)**: when the contiguous committed
+  prefix advances, the entries (with their batch references) are pruned and
+  their quorum vote state is released (``_stable_round`` is the watermark;
+  stale messages for pruned rounds are dropped at handler entry).  The
+  compact ``commit_log`` keeps (round, digest, committed_at) fingerprints
+  for the safety auditor; full :class:`Block` objects are retained in
+  ``delivered_blocks`` only when ``retain_blocks`` is set (the default —
+  the bounded-memory system mode disables it off the observer replica).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.block import Block
 from repro.consensus.base import ConsensusInstance, InstanceConfig, InstanceContext
@@ -21,7 +37,7 @@ from repro.crypto.hashing import digest_hex
 from repro.workload.transactions import Batch
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundEntry:
     """Per-round log entry at one replica."""
 
@@ -49,6 +65,13 @@ class PBFTInstance(ConsensusInstance):
     #: timer used to detect a stalled in-flight round
     ROUND_TIMER = "pbft-round"
 
+    #: message classes whose handlers account their own entry verification
+    #: (instead of the dispatch site doing it) — subclasses that must record
+    #: extra crypto *before* the entry verify (e.g. Mir's per-batch request
+    #: re-verification) list those classes here to keep the accounting order
+    #: bit-exact with the historical per-handler recording
+    SELF_ACCOUNTING: frozenset = frozenset()
+
     def __init__(
         self,
         config: InstanceConfig,
@@ -64,12 +87,39 @@ class PBFTInstance(ConsensusInstance):
         self.view_change_votes = QuorumTracker(config.quorum)
         self.propose_timeout = propose_timeout
         self.view_change_in_progress = False
+        #: full Block history of this instance's partial commits; only
+        #: appended when ``retain_blocks`` (see module docstring)
         self.delivered_blocks: list = []
+        #: compact (round, digest, committed_at) history for the auditor
+        self.commit_log: List[Tuple[int, str, float]] = []
+        self.retain_blocks = True
         #: first round of the current view after a view change (0 = no view change yet)
         self.view_resume_round = 0
         #: highest last-committed round reported by any collected view-change
         #: vote, per (view-change, view) key — the new-view resume point
         self._view_change_high: Dict[Tuple, int] = {}
+        # ----- hot-path vote keys: digest -> small interned int -----
+        self._digest_ids: Dict[str, int] = {}
+        self._digest_seq = 0
+        #: digests first seen (interned) per round, so a round's GC can
+        #: release vote state for *every* digest voted at that round —
+        #: including forged digests an equivocating adversary floods that
+        #: never reach quorum
+        self._round_digests: Dict[int, List[str]] = {}
+        # ----- bounded log: rounds <= _stable_round are committed & pruned -----
+        self._stable_round = 0
+        self._committed_above: set = set()
+        #: rounds committed via the others' commit quorum whose own commit
+        #: send is still pending on a late prepare quorum (lossy links);
+        #: exempt from the stale-round drop so the late quorum can fire
+        self._deferred_sends: set = set()
+        self._handlers = {
+            PrePrepare: self._on_pre_prepare,
+            Prepare: self._on_prepare,
+            Commit: self._on_commit,
+            ViewChange: self._on_view_change,
+            NewView: self._on_new_view,
+        }
 
     # ----------------------------------------------------------------- hooks
     def start(self) -> None:
@@ -126,16 +176,27 @@ class PBFTInstance(ConsensusInstance):
     def on_message(self, sender: int, message: Any) -> None:
         if self.stopped:
             return
-        if isinstance(message, PrePrepare):
-            self._on_pre_prepare(sender, message)
-        elif isinstance(message, Prepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, Commit):
-            self._on_commit(sender, message)
-        elif isinstance(message, ViewChange):
-            self._on_view_change(sender, message)
-        elif isinstance(message, NewView):
-            self._on_new_view(sender, message)
+        cls = message.__class__
+        handler = self._handlers.get(cls)
+        if handler is not None:
+            # Every protocol message costs one signature verification on
+            # receipt; it is accounted here (the single dispatch site) so the
+            # handlers — and the replica-level fast path that calls them
+            # directly — stay free of the per-message accounting frame.
+            if cls not in self.SELF_ACCOUNTING:
+                self.context.record_crypto("verify")
+            handler(sender, message)
+
+    # -------------------------------------------------------------- vote keys
+    def _vote_key(self, view: int, round: int, digest: str) -> Tuple[int, int, int]:
+        """The interned, int-only quorum key for (view, round, digest)."""
+        ids = self._digest_ids
+        digest_id = ids.get(digest)
+        if digest_id is None:
+            digest_id = self._digest_seq = self._digest_seq + 1
+            ids[digest] = digest_id
+            self._round_digests.setdefault(round, []).append(digest)
+        return (view, round, digest_id)
 
     # ------------------------------------------------------------ pre-prepare
     def _validate_pre_prepare(self, sender: int, message: PrePrepare) -> bool:
@@ -149,9 +210,10 @@ class PBFTInstance(ConsensusInstance):
         return True
 
     def _on_pre_prepare(self, sender: int, message: PrePrepare) -> None:
-        self.context.record_crypto("verify")
         if not self._validate_pre_prepare(sender, message):
             return
+        if message.round <= self._stable_round:
+            return  # round already committed and pruned: duplicate delivery
         entry = self._entry(message.round)
         if entry.pre_prepared:
             return
@@ -186,13 +248,21 @@ class PBFTInstance(ConsensusInstance):
 
     # ---------------------------------------------------------------- prepare
     def _on_prepare(self, sender: int, message: Prepare) -> None:
-        self.context.record_crypto("verify")
         if message.view != self.view:
             return
-        key = (message.view, message.round, message.digest)
-        if not self.prepare_votes.add_vote(key, sender):
+        round = message.round
+        if round <= self._stable_round and round not in self._deferred_sends:
+            return  # round already committed and pruned: stale vote
+        # _vote_key, inlined: this runs once per prepare vote per replica.
+        ids = self._digest_ids
+        digest_id = ids.get(message.digest)
+        if digest_id is None:
+            digest_id = self._digest_seq = self._digest_seq + 1
+            ids[message.digest] = digest_id
+            self._round_digests.setdefault(round, []).append(message.digest)
+        if not self.prepare_votes.add_vote((message.view, round, digest_id), sender):
             return
-        entry = self._entry(message.round)
+        entry = self._entry(round)
         entry.prepare_quorum = True
         self._maybe_send_commit(entry)
 
@@ -211,19 +281,33 @@ class PBFTInstance(ConsensusInstance):
         )
         self.context.record_crypto("sign")
         self.context.multicast(commit, commit.size_bytes)
+        if entry.committed:
+            # The round had already committed through the others' commit
+            # quorum while this replica's own prepare quorum was still
+            # incomplete (lossy links); with the late commit now sent, the
+            # round is final and its deferred GC can complete.
+            self._finalize_deferred_send(entry)
 
     def _on_prepared(self, entry: RoundEntry) -> None:
         """Hook for subclasses (Ladon) that act when a round becomes prepared."""
 
     # ----------------------------------------------------------------- commit
     def _on_commit(self, sender: int, message: Commit) -> None:
-        self.context.record_crypto("verify")
         if message.view != self.view:
             return
-        key = (message.view, message.round, message.digest)
-        if not self.commit_votes.add_vote(key, sender):
+        round = message.round
+        if round <= self._stable_round:
+            return  # round already committed and pruned: stale vote
+        # _vote_key, inlined (once per commit vote per replica).
+        ids = self._digest_ids
+        digest_id = ids.get(message.digest)
+        if digest_id is None:
+            digest_id = self._digest_seq = self._digest_seq + 1
+            ids[message.digest] = digest_id
+            self._round_digests.setdefault(round, []).append(message.digest)
+        if not self.commit_votes.add_vote((message.view, round, digest_id), sender):
             return
-        entry = self._entry(message.round)
+        entry = self._entry(round)
         entry.commit_quorum = True
         self._maybe_commit(entry)
 
@@ -231,7 +315,8 @@ class PBFTInstance(ConsensusInstance):
         if not entry.pre_prepared or not entry.commit_quorum or entry.committed:
             return
         entry.committed = True
-        self.last_committed_round = max(self.last_committed_round, entry.round)
+        if entry.round > self.last_committed_round:
+            self.last_committed_round = entry.round
         self.context.cancel_timer(self._round_timer_name(entry.round))
         now = self.context.now()
         block = Block(
@@ -250,13 +335,82 @@ class PBFTInstance(ConsensusInstance):
             tx_count_hint=entry.tx_count,
             batch_submitted_at=entry.batch_submitted_at,
         )
-        self.delivered_blocks.append(block)
+        self.commit_log.append((entry.round, entry.digest, now))
+        if self.retain_blocks:
+            self.delivered_blocks.append(block)
         self.context.deliver(block)
         self._on_committed(entry, block)
+        self._gc_committed(entry)
         self._arm_propose_timer()
 
     def _on_committed(self, entry: RoundEntry, block: Block) -> None:
         """Hook for subclasses (Ladon) that act when a round commits."""
+
+    # ----------------------------------------------------------- log pruning
+    def _gc_committed(self, entry: RoundEntry) -> None:
+        """Release a committed round's quorum votes and prune the stable prefix.
+
+        Vote state for the committed key is dropped immediately, and —
+        via ``_round_digests`` — so is the vote state of every *other*
+        digest voted at that round (forged digests from an equivocating
+        vote flood never reach quorum, so nothing else would release
+        them).  The log entry itself (holding the batch reference) is
+        pruned once the *contiguous* committed prefix reaches it, which
+        keeps ``_stable_round`` a true watermark: every round at or below
+        it is committed, so stale messages for those rounds can be dropped
+        at handler entry without consulting the (now pruned) log.
+
+        A round committed through the others' commit quorum while this
+        replica's own prepare quorum is still incomplete (lossy links) is
+        marked in ``_deferred_sends`` instead of blocking the watermark:
+        its entry and prepare votes stay alive (the late quorum must still
+        fire the commit send, pre-GC behaviour), the stale-round drop
+        exempts it, and :meth:`_maybe_send_commit` finishes its GC when
+        the quorum lands (or :meth:`_on_new_view` does, once a view change
+        makes the missing prepares undeliverable).
+        """
+        key = self._vote_key(entry.view, entry.round, entry.digest)
+        self.commit_votes.clear(key)
+        if not entry.sent_commit:
+            self._deferred_sends.add(entry.round)
+        else:
+            self.prepare_votes.clear(key)
+        above = self._committed_above
+        above.add(entry.round)
+        stable = self._stable_round
+        deferred = self._deferred_sends
+        log = self.log
+        while stable + 1 in above:
+            stable += 1
+            above.discard(stable)
+            if stable in deferred:
+                continue  # entry + prepare votes stay until the send fires
+            gone = log.pop(stable, None)
+            self._release_round_votes(stable, gone.view if gone else entry.view)
+        self._stable_round = stable
+
+    def _release_round_votes(self, round: int, view: int) -> None:
+        """Drop interned digests and vote state for every digest of ``round``."""
+        digest_ids = self._digest_ids
+        prepare_votes = self.prepare_votes
+        commit_votes = self.commit_votes
+        for digest in self._round_digests.pop(round, ()):
+            digest_id = digest_ids.pop(digest, None)
+            if digest_id is not None:
+                key = (view, round, digest_id)
+                prepare_votes.clear(key)
+                commit_votes.clear(key)
+
+    def _finalize_deferred_send(self, entry: RoundEntry) -> None:
+        """Complete the GC of a round whose commit send was deferred."""
+        self._deferred_sends.discard(entry.round)
+        if entry.round <= self._stable_round:
+            # The watermark already passed it: prune now.
+            self.log.pop(entry.round, None)
+            self._release_round_votes(entry.round, entry.view)
+        else:
+            key = self._vote_key(entry.view, entry.round, entry.digest)
+            self.prepare_votes.clear(key)
 
     # ------------------------------------------------------------ view change
     def _round_timer_name(self, round: int) -> str:
@@ -289,6 +443,8 @@ class PBFTInstance(ConsensusInstance):
         self._start_view_change()
 
     def _on_timeout(self, round: int) -> None:
+        if round <= self._stable_round:
+            return  # committed (and pruned) before the timer fired
         entry = self.log.get(round)
         if entry is not None and entry.committed:
             return
@@ -310,12 +466,14 @@ class PBFTInstance(ConsensusInstance):
         self.context.record_crypto("sign")
         new_leader = self.config.leader_for_view(new_view)
         if new_leader == self.replica_id:
+            # Direct self-delivery bypasses on_message: account the entry
+            # verification the dispatch site would have recorded.
+            self.context.record_crypto("verify")
             self._on_view_change(self.replica_id, message)
         else:
             self.context.send(new_leader, message, message.size_bytes)
 
     def _on_view_change(self, sender: int, message: ViewChange) -> None:
-        self.context.record_crypto("verify")
         if message.view <= self.view:
             return
         if self.config.leader_for_view(message.view) != self.replica_id:
@@ -341,7 +499,6 @@ class PBFTInstance(ConsensusInstance):
         self.context.multicast(new_view_msg, new_view_msg.size_bytes)
 
     def _on_new_view(self, sender: int, message: NewView) -> None:
-        self.context.record_crypto("verify")
         if message.view <= self.view:
             return
         if sender != self.config.leader_for_view(message.view):
@@ -370,6 +527,19 @@ class PBFTInstance(ConsensusInstance):
                     stashed[round] = entry
                 del self.log[round]
                 self.context.cancel_timer(self._round_timer_name(round))
+        # View-change bookkeeping for installed (and older) views is dead.
+        for vc_key in [k for k in self._view_change_high if k[1] <= message.view]:
+            del self._view_change_high[vc_key]
+            self.view_change_votes.clear(vc_key)
+        # Deferred commit sends can never complete now (their missing
+        # prepares belong to an older view and the view gate makes them
+        # undeliverable): finalize their GC so they don't pin log entries
+        # forever.  Deferred rounds always retain their log entry, created
+        # in a view older than the one just installed.
+        for round in list(self._deferred_sends):
+            entry = self.log.pop(round)
+            self._deferred_sends.discard(round)
+            self._release_round_votes(round, entry.view)
         self._arm_propose_timer()
         self.on_view_installed(message.view)
         # Every prepared round is re-proposed (a prepared round may have
@@ -403,6 +573,7 @@ class PBFTInstance(ConsensusInstance):
 
     # -------------------------------------------------------------- internals
     def _entry(self, round: int) -> RoundEntry:
-        if round not in self.log:
-            self.log[round] = RoundEntry(round=round, view=self.view)
-        return self.log[round]
+        entry = self.log.get(round)
+        if entry is None:
+            entry = self.log[round] = RoundEntry(round=round, view=self.view)
+        return entry

@@ -1,23 +1,47 @@
-"""Quorum vote tracking."""
+"""Quorum vote tracking.
+
+The tracker stores, per key, a **voter bitmask** (one bit per replica id)
+instead of a ``set`` of ids: recording a vote is a bit-or, the quorum check
+is a popcount (``int.bit_count``), and there is no per-vote set allocation.
+Reached-quorum state is folded into the same dict entry (the mask is stored
+bit-inverted, i.e. negative, once the key reached quorum), so the hot path
+costs exactly one dict lookup and one store per vote.  This sits on the
+consensus hot path — one ``add_vote`` per prepare/commit vote per replica —
+so the constant factor matters at n=128.
+
+Two memory guarantees back the bounded-memory mode of the protocol layer:
+
+* :meth:`clear` releases a key's state (the instances call it when a round
+  commits, so vote state is O(active rounds), not O(history));
+* votes arriving *after* a key reached quorum are dropped by default — the
+  old behaviour of accumulating them (for a key nobody reads again) let an
+  adversarial vote flood grow memory without bound.  Pass
+  ``track_post_quorum=True`` to opt back in (diagnostics).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Set, Tuple
+from typing import Dict, Hashable, Tuple
 
 
 @dataclass
 class QuorumTracker:
     """Counts distinct voters per key and fires exactly once per quorum.
 
-    Keys are arbitrary hashable tuples, typically ``(view, round, digest)``.
-    The tracker remembers which keys already reached quorum so a late vote
-    cannot re-trigger the quorum action.
+    Keys are arbitrary hashable values, typically ``(view, round, digest)``
+    tuples (the consensus instances intern digests to small ints so the hot
+    keys are int-only tuples).  The tracker remembers which keys already
+    reached quorum so a late vote cannot re-trigger the quorum action.
     """
 
     threshold: int
-    _votes: Dict[Hashable, Set[int]] = field(default_factory=dict)
-    _reached: Set[Hashable] = field(default_factory=set)
+    #: keep counting voters after quorum (off by default: a post-quorum vote
+    #: flood would otherwise grow memory for state nobody reads)
+    track_post_quorum: bool = False
+    #: voter bitmask per key; stored as ``~mask`` (negative) once the key
+    #: reached quorum, so one dict entry carries both facts
+    _votes: Dict[Hashable, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.threshold <= 0:
@@ -25,25 +49,45 @@ class QuorumTracker:
 
     def add_vote(self, key: Hashable, voter: int) -> bool:
         """Record a vote.  Returns True exactly when the key first reaches quorum."""
-        if key in self._reached:
-            self._votes.setdefault(key, set()).add(voter)
+        votes = self._votes
+        mask = votes.get(key, 0)
+        if mask < 0:  # quorum already reached
+            if self.track_post_quorum:
+                votes[key] = ~(~mask | (1 << voter))
             return False
-        voters = self._votes.setdefault(key, set())
-        voters.add(voter)
-        if len(voters) >= self.threshold:
-            self._reached.add(key)
+        mask |= 1 << voter
+        if mask.bit_count() >= self.threshold:
+            votes[key] = ~mask
             return True
+        votes[key] = mask
         return False
 
+    @staticmethod
+    def _mask_of(value: int) -> int:
+        return ~value if value < 0 else value
+
     def voters(self, key: Hashable) -> Tuple[int, ...]:
-        return tuple(sorted(self._votes.get(key, set())))
+        mask = self._mask_of(self._votes.get(key, 0))
+        out = []
+        voter = 0
+        while mask:
+            if mask & 1:
+                out.append(voter)
+            mask >>= 1
+            voter += 1
+        return tuple(out)
 
     def count(self, key: Hashable) -> int:
-        return len(self._votes.get(key, set()))
+        return self._mask_of(self._votes.get(key, 0)).bit_count()
 
     def has_quorum(self, key: Hashable) -> bool:
-        return key in self._reached
+        return self._votes.get(key, 0) < 0
 
     def clear(self, key: Hashable) -> None:
+        """Release all state held for ``key`` (committed/garbage rounds)."""
         self._votes.pop(key, None)
-        self._reached.discard(key)
+
+    # ------------------------------------------------------------- inspection
+    def tracked_keys(self) -> int:
+        """Number of keys currently holding state (memory diagnostics)."""
+        return len(self._votes)

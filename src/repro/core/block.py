@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 from repro.crypto.hashing import digest_hex
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockId:
     """Uniquely identifies a block by instance and round."""
 
@@ -26,7 +26,7 @@ class BlockId:
         return f"B^{self.instance}_{self.round}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Block:
     """A partially committed (or proposed) block.
 

@@ -18,7 +18,7 @@ decision and the block itself are available.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List
 
 from repro.core.block import Block, BlockId
 from repro.core.ordering import ConfirmedBlock, GlobalOrderer
@@ -29,14 +29,16 @@ class DQBFTOrderer(GlobalOrderer):
 
     Draining is O(1) amortised per confirmation already (a deque of
     decisions); the undecided set is additionally maintained incrementally so
-    inspection never rescans the full block history.
+    inspection never rescans the full block history, and confirmed blocks are
+    released from the block buffer (only their ids are remembered for
+    duplicate detection).
     """
 
-    def __init__(self, num_instances: int) -> None:
+    def __init__(self, num_instances: int, retain_blocks: bool = True) -> None:
         if num_instances <= 0:
             raise ValueError("need at least one instance")
+        super().__init__(retain_blocks=retain_blocks)
         self.num_instances = num_instances
-        self._confirmed: List[ConfirmedBlock] = []
         self._blocks: Dict[BlockId, Block] = {}
         self._decisions: Deque[BlockId] = deque()
         self._decided: set = set()
@@ -44,17 +46,13 @@ class DQBFTOrderer(GlobalOrderer):
         self._undecided: Dict[BlockId, Block] = {}
 
     @property
-    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
-        return tuple(self._confirmed)
-
-    @property
     def pending_count(self) -> int:
-        return len(self._blocks) - len(self._confirmed_ids)
+        return len(self._blocks)
 
     # ----------------------------------------------------- ordering decisions
     def add_sequencing_decision(self, block_id: BlockId, now: float) -> List[ConfirmedBlock]:
         """Record that the ordering instance decided ``block_id`` comes next."""
-        if block_id in self._decided:
+        if block_id in self._decided or block_id in self._confirmed_ids:
             return []
         self._decided.add(block_id)
         self._decisions.append(block_id)
@@ -63,7 +61,7 @@ class DQBFTOrderer(GlobalOrderer):
 
     def add_partially_committed(self, block: Block, now: float) -> List[ConfirmedBlock]:
         block_id = block.block_id
-        if block_id in self._blocks:
+        if block_id in self._blocks or block_id in self._confirmed_ids:
             return []
         self._blocks[block_id] = block
         if block_id not in self._decided:
@@ -80,11 +78,11 @@ class DQBFTOrderer(GlobalOrderer):
             self._decisions.popleft()
             if head in self._confirmed_ids:
                 continue
-            sn = len(self._confirmed)
-            confirmed = ConfirmedBlock(block=block, sn=sn, confirmed_at=now)
-            self._confirmed.append(confirmed)
+            newly.append(self._append_confirmed(block, now))
             self._confirmed_ids.add(head)
-            newly.append(confirmed)
+            # Confirmed blocks leave the buffer; the id set covers duplicates.
+            del self._blocks[head]
+            self._decided.discard(head)
         return newly
 
     # ------------------------------------------------------------- inspection

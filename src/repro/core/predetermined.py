@@ -9,20 +9,25 @@ later block from being globally confirmed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.core.block import Block
 from repro.core.ordering import ConfirmedBlock, GlobalOrderer
 
 
 class PredeterminedOrderer(GlobalOrderer):
-    """Global ordering by pre-assigned index, as in ISS / Mir / RCC."""
+    """Global ordering by pre-assigned index, as in ISS / Mir / RCC.
 
-    def __init__(self, num_instances: int) -> None:
+    Memory is O(active window): confirmation drains a contiguous prefix, so
+    duplicate detection is an index comparison, and the confirmed history is
+    kept compact unless ``retain_blocks`` (see :class:`GlobalOrderer`).
+    """
+
+    def __init__(self, num_instances: int, retain_blocks: bool = True) -> None:
         if num_instances <= 0:
             raise ValueError("need at least one instance")
+        super().__init__(retain_blocks=retain_blocks)
         self.num_instances = num_instances
-        self._confirmed: List[ConfirmedBlock] = []
         self._pending: Dict[int, Block] = {}
         self._next_sn = 0
         # Highest global index ever received; because confirmation drains a
@@ -37,10 +42,6 @@ class PredeterminedOrderer(GlobalOrderer):
         return (block.round - 1) * self.num_instances + block.instance
 
     @property
-    def confirmed(self) -> Tuple[ConfirmedBlock, ...]:
-        return tuple(self._confirmed)
-
-    @property
     def pending_count(self) -> int:
         return len(self._pending)
 
@@ -49,13 +50,12 @@ class PredeterminedOrderer(GlobalOrderer):
         if index < self._next_sn or index in self._pending:
             return []  # duplicate delivery
         self._pending[index] = block
-        self._highest_seen = max(self._highest_seen, index)
+        if index > self._highest_seen:
+            self._highest_seen = index
         newly: List[ConfirmedBlock] = []
         while self._next_sn in self._pending:
             blk = self._pending.pop(self._next_sn)
-            confirmed = ConfirmedBlock(block=blk, sn=self._next_sn, confirmed_at=now)
-            self._confirmed.append(confirmed)
-            newly.append(confirmed)
+            newly.append(self._append_confirmed(blk, now))
             self._next_sn += 1
         return newly
 

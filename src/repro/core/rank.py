@@ -15,7 +15,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 from repro.crypto.aggregate import QuorumCertificate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RankCertificate:
     """Proof that a rank was carried by a block prepared by 2f+1 replicas.
 
@@ -45,7 +45,7 @@ class RankCertificate:
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RankReport:
     """A rank message from one replica: its current highest certified rank."""
 
@@ -65,7 +65,7 @@ class RankReport:
         return 64 + self.certificate.size_bytes  # signature + cert
 
 
-@dataclass
+@dataclass(slots=True)
 class RankState:
     """Per-replica ``curRank`` state (Algorithm 2, lines 23-26 and 37-41)."""
 

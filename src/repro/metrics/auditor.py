@@ -203,21 +203,18 @@ def audit_system(system, stall_window: Optional[float] = None) -> SafetyAuditRep
         replica = system.replicas[replica_id]
         by_instance: Dict[int, List[PartialCommit]] = {}
         for instance_id, instance in replica.instances.items():
-            by_instance[instance_id] = [
-                (block.round, block.payload_digest, block.committed_at or 0.0)
-                for block in getattr(instance, "delivered_blocks", ())
-            ]
+            # Instances keep a compact (round, digest, committed_at) log for
+            # exactly this purpose — full Block histories exist only on the
+            # observer in bounded-memory mode.
+            log = getattr(instance, "commit_log", None)
+            if log is None:
+                log = [
+                    (block.round, block.payload_digest, block.committed_at or 0.0)
+                    for block in getattr(instance, "delivered_blocks", ())
+                ]
+            by_instance[instance_id] = list(log)
         partial_by_replica[replica_id] = by_instance
-        confirmed_by_replica[replica_id] = [
-            (
-                confirmed.sn,
-                confirmed.block.instance,
-                confirmed.block.round,
-                confirmed.block.rank,
-                confirmed.block.payload_digest,
-            )
-            for confirmed in replica.orderer.confirmed
-        ]
+        confirmed_by_replica[replica_id] = replica.orderer.confirmed_fingerprints()
 
     report = audit_logs(
         partial_by_replica,

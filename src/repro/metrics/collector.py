@@ -54,12 +54,21 @@ class RunMetrics:
 
 
 class MetricsCollector:
-    """Collects confirmations at one observing replica and summarises the run."""
+    """Collects confirmations at one observing replica and summarises the run.
 
-    def __init__(self, bin_width: float = 1.0) -> None:
+    ``retain_confirmations=False`` (bounded-memory mode, used on the
+    non-observer replicas) keeps the streaming accumulators but not the
+    per-block history; :meth:`summarise` then raises, because the summary
+    metrics (causal strength, warmup filtering) need the full list — only
+    the observing replica is ever summarised.
+    """
+
+    def __init__(self, bin_width: float = 1.0, retain_confirmations: bool = True) -> None:
         self.throughput = ThroughputSeries(bin_width=bin_width)
         self.latency = LatencyAccumulator()
+        self.retain_confirmations = retain_confirmations
         self.confirmed: List[ConfirmedBlock] = []
+        self.confirmed_count = 0
         self.partially_committed = 0
 
     # ------------------------------------------------------------- recording
@@ -68,7 +77,9 @@ class MetricsCollector:
 
     def record_confirmation(self, confirmed: ConfirmedBlock) -> None:
         block = confirmed.block
-        self.confirmed.append(confirmed)
+        self.confirmed_count += 1
+        if self.retain_confirmations:
+            self.confirmed.append(confirmed)
         self.throughput.record(confirmed.confirmed_at, block.tx_count)
         submitted = block.batch_submitted_at if block.batch_submitted_at else block.proposed_at
         self.latency.record_block(submitted, confirmed.confirmed_at, block.tx_count)
@@ -87,6 +98,11 @@ class MetricsCollector:
         resources: Optional[ResourceModel] = None,
         warmup: float = 0.0,
     ) -> RunMetrics:
+        if not self.retain_confirmations:
+            raise RuntimeError(
+                "collector runs with retain_confirmations=False (bounded "
+                "memory); only the observing replica can be summarised"
+            )
         effective = max(duration - warmup, 1e-9)
         confirmed_txs = sum(c.block.tx_count for c in self.confirmed if c.confirmed_at >= warmup)
         return RunMetrics(

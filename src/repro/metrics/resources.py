@@ -45,7 +45,7 @@ class CryptoCostModel:
         raise KeyError(f"unknown crypto operation {operation!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceUsage:
     """Accumulated per-replica resource usage."""
 
@@ -84,6 +84,10 @@ class ResourceModel:
         if replica not in self._per_replica:
             self._per_replica[replica] = ResourceUsage()
         return self._per_replica[replica]
+
+    def cost_table(self) -> Dict[str, float]:
+        """The op -> CPU-seconds mapping (hot-path callers index it directly)."""
+        return self._costs
 
     # ------------------------------------------------------------- recording
     def record_crypto(self, replica: int, operation: str, count: int = 1) -> None:

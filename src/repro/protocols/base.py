@@ -75,6 +75,12 @@ class SystemConfig:
     #: realtime backend only: wall seconds per simulated second (0.1 runs a
     #: 10 s scenario in ~1 s of wall time); ignored by the DES backend
     realtime_timescale: float = 1.0
+    #: bounded-memory mode (default): every replica except the observing one
+    #: keeps only compact commit/confirmation fingerprints (enough for the
+    #: safety auditor) instead of full Block histories, so long runs are
+    #: O(active window) in memory.  Set False to retain everything on every
+    #: replica (debugging, cross-replica history inspection).
+    bounded_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.n < 4:
@@ -140,13 +146,23 @@ class SystemResult:
 
 
 class ReplicaInstanceContext(InstanceContext):
-    """Routes one instance's callbacks through its hosting replica."""
+    """Routes one instance's callbacks through its hosting replica.
+
+    The per-message callbacks (clock, send, multicast, deliver, crypto
+    accounting) are bound straight to the replica's methods in ``__init__``
+    so each call costs one Python frame, not two — these run once or more
+    per protocol message and dominate the instance-side overhead.
+    """
 
     def __init__(self, replica: "MultiBFTReplica", instance_id: int) -> None:
         self.replica = replica
         self.instance_id = instance_id
-        # Hot-path binding: the instances read the clock constantly.
+        # Hot-path bindings (shadow the methods below per instance).
         self.now = replica.now
+        self.send = replica.send_protocol_message
+        self.multicast = replica.multicast_protocol_message
+        self.deliver = replica.on_partial_commit
+        self.record_crypto = replica.record_crypto_op
 
     def now(self) -> float:  # shadowed per-instance in __init__
         return self.replica.now()
@@ -167,7 +183,7 @@ class ReplicaInstanceContext(InstanceContext):
         self.replica.cancel_timer(f"inst{self.instance_id}:{name}")
 
     def record_crypto(self, operation: str, count: int = 1) -> None:
-        self.replica.resources.record_crypto(self.replica.node_id, operation, count)
+        self.replica.record_crypto_op(operation, count)
 
     def current_rank(self) -> int:
         return self.replica.rank_state.rank
@@ -206,10 +222,14 @@ class MultiBFTReplica(Node):
         runtime: Runtime,
         config: SystemConfig,
         resources: ResourceModel,
+        retain_history: bool = True,
     ) -> None:
         super().__init__(node_id, runtime)
         self.config = config
         self.resources = resources
+        #: False on non-observer replicas in bounded-memory mode: orderer,
+        #: instances, and metrics keep compact fingerprints only
+        self.retain_history = retain_history
         #: hot-path binding: per-message accounting avoids a dict lookup.
         #: Bound lazily on first use so the per-replica usage records are
         #: created in first-activity order (the aggregation in Table 1 sums
@@ -217,9 +237,18 @@ class MultiBFTReplica(Node):
         self._usage = None
         self._message_handling_cost = resources.cost_model.message_handling
         self._per_byte_cost = resources.cost_model.per_byte
+        self._crypto_costs = resources.cost_table()
+        self._verify_cost = self._crypto_costs["verify"]
+        #: multicast fan-out split (below/above own id), cached per receiver
+        #: list identity — recomputed only when registration changes
+        self._mc_receivers: Any = None
+        self._mc_below: List[int] = []
+        self._mc_above: List[int] = []
         self.rank_state = RankState()
         self.quorum = quorum_threshold(config.n)
-        self.metrics = MetricsCollector(bin_width=config.bin_width)
+        self.metrics = MetricsCollector(
+            bin_width=config.bin_width, retain_confirmations=retain_history
+        )
         self.orderer: GlobalOrderer = self.build_orderer()
         self.instances: Dict[int, Any] = {}
         self.view_change_log: List[Tuple[float, int, int]] = []
@@ -263,7 +292,40 @@ class MultiBFTReplica(Node):
             instance.on_view_installed = (
                 lambda view, iid=instance_id: self._on_view_installed(iid, view)
             )
+            instance.retain_blocks = self.retain_history
             self.instances[instance_id] = instance
+        self._build_route()
+
+    def _build_route(self) -> None:
+        """Build the (instance, message type) -> handler fast-dispatch table.
+
+        One dict hit replaces instance lookup + ``instance.on_message`` +
+        the instance's own type dispatch on the per-delivery hot path.
+        Messages that miss the table (checkpoints, subclass extras, unknown
+        instances) fall back to the slow path, which preserves the exact
+        legacy semantics.  Instances inside a system are never ``stop()``-ed
+        (the flag exists for direct unit-test use), so bypassing the
+        instance-level ``stopped`` gate is sound here.
+        """
+        route: Dict[Tuple[int, type], Tuple[Callable[[int, Any], None], bool]] = {}
+        slots = max(self.instances.keys(), default=-1) + 1
+        by_cls: Dict[type, List[Optional[Tuple[Callable[[int, Any], None], bool]]]] = {}
+        for instance_id, instance in self.instances.items():
+            handlers = getattr(instance, "_handlers", None)
+            if not handlers:
+                continue
+            self_accounting = getattr(instance, "SELF_ACCOUNTING", frozenset())
+            for message_cls, handler in handlers.items():
+                entry = (handler, message_cls not in self_accounting)
+                route[(instance_id, message_cls)] = entry
+                per_instance = by_cls.get(message_cls)
+                if per_instance is None:
+                    per_instance = by_cls[message_cls] = [None] * slots
+                per_instance[instance_id] = entry
+        self._route = route
+        #: class -> per-instance entry list: the delivery fast path pays one
+        #: pointer-hash dict get plus a list index (no tuple allocation)
+        self._route_cls = by_cls
 
     # ------------------------------------------------------------------ epoch
     def current_epoch(self) -> int:
@@ -391,6 +453,20 @@ class MultiBFTReplica(Node):
                 )
 
     # --------------------------------------------------------------- messaging
+    def record_crypto_op(self, operation: str, count: int = 1) -> None:
+        """Hot-path crypto accounting: one frame, no registry indirection.
+
+        Accumulates into the same lazily-created per-replica usage record as
+        message accounting, so Table 1's first-activity creation order (and
+        its float-sum order) is unchanged.
+        """
+        usage = self._usage
+        if usage is None:
+            usage = self._usage = self.resources.usage(self.node_id)
+        ops = usage.crypto_ops
+        ops[operation] = ops.get(operation, 0) + count
+        usage.cpu_seconds += self._crypto_costs[operation] * count
+
     def send_protocol_message(self, dest: int, message: Any, size_bytes: int) -> None:
         usage = self._usage
         if usage is None:
@@ -403,10 +479,19 @@ class MultiBFTReplica(Node):
             return
         self.send(dest, message, size_bytes)
 
+    def _multicast_split(self, receivers) -> None:
+        """Recompute the below/above-own-id fan-out split (registration changed)."""
+        node_id = self.node_id
+        self._mc_below = [r for r in receivers if r < node_id]
+        self._mc_above = [r for r in receivers if r > node_id]
+        self._mc_receivers = receivers
+
     def multicast_protocol_message(self, message: Any, size_bytes: int) -> None:
         receivers = self.runtime.registered_nodes()
-        node_id = self.node_id
-        sent_bytes = size_bytes * max(0, len(receivers) - 1)
+        if receivers is not self._mc_receivers:
+            self._multicast_split(receivers)
+        sent = len(receivers) - 1
+        sent_bytes = size_bytes * sent if sent > 0 else 0
         usage = self._usage
         if usage is None:
             usage = self._usage = self.resources.usage(self.node_id)
@@ -416,13 +501,52 @@ class MultiBFTReplica(Node):
         # sorted slot, exactly as a per-receiver loop would: protocol
         # reactions to our own message interleave with the remaining sends
         # the same way they always did.
-        below = [r for r in receivers if r < node_id]
-        above = [r for r in receivers if r > node_id]
-        if below:
-            self.multicast(below, message, size_bytes)
-        self._dispatch(node_id, message)
-        if above:
-            self.multicast(above, message, size_bytes)
+        if self._mc_below:
+            self.multicast(self._mc_below, message, size_bytes)
+        self._dispatch(self.node_id, message)
+        if self._mc_above:
+            self.multicast(self._mc_above, message, size_bytes)
+
+    def _receive(self, sender: int, message: Any) -> None:
+        """Transport delivery entry point: accounting + dispatch, one frame.
+
+        Overrides :meth:`Node._receive` to fold the crashed check, the
+        per-message resource accounting, and the route-table dispatch into a
+        single function — this runs once per delivered message and is the
+        hottest replica-side path.
+        """
+        if self.crashed:
+            return
+        usage = self._usage
+        if usage is None:
+            usage = self._usage = self.resources.usage(self.node_id)
+        usage.messages_handled += 1
+        try:
+            size = message.size_bytes
+            instance_id = message.instance
+        except AttributeError:  # foreign payloads (tests, custom hooks)
+            size = getattr(message, "size_bytes", 0)
+            instance_id = -1
+        usage.cpu_seconds += (
+            self._message_handling_cost + self._per_byte_cost * size
+        )
+        per_instance = self._route_cls.get(message.__class__)
+        if per_instance is not None and 0 <= instance_id < len(per_instance):
+            entry = per_instance[instance_id]
+            if entry is not None:
+                handler, entry_verify = entry
+                if entry_verify:
+                    # Entry "verify" for the routed protocol message,
+                    # inlined (the instances account it at their dispatch
+                    # site; this IS that site on the fast path).  Same
+                    # accumulation order as before: message-handling cost,
+                    # then verification cost.
+                    ops = usage.crypto_ops
+                    ops["verify"] = ops.get("verify", 0) + 1
+                    usage.cpu_seconds += self._verify_cost
+                handler(sender, message)
+                return
+        self._dispatch_slow(sender, message)
 
     def on_message(self, sender: int, message: Any) -> None:
         usage = self._usage
@@ -436,11 +560,21 @@ class MultiBFTReplica(Node):
         self._dispatch(sender, message)
 
     def _dispatch(self, sender: int, message: Any) -> None:
+        entry = self._route.get((getattr(message, "instance", None), message.__class__))
+        if entry is not None:
+            handler, entry_verify = entry
+            if entry_verify:
+                self.record_crypto_op("verify")
+            handler(sender, message)
+            return
+        self._dispatch_slow(sender, message)
+
+    def _dispatch_slow(self, sender: int, message: Any) -> None:
+        """Fallback dispatch: checkpoints, extra messages, unknown instances."""
         if isinstance(message, CheckpointMessage):
             self._on_checkpoint(sender, message)
             return
-        instance_id = getattr(message, "instance", None)
-        instance = self.instances.get(instance_id)
+        instance = self.instances.get(getattr(message, "instance", None))
         if instance is None:
             self.handle_extra_message(sender, message)
             return
@@ -475,13 +609,13 @@ class MultiBFTReplica(Node):
         if epoch in self._checkpoint_sent_for:
             return
         self._checkpoint_sent_for.add(epoch)
-        message = self.checkpoints.build_checkpoint(epoch, len(self.orderer.confirmed))
+        message = self.checkpoints.build_checkpoint(epoch, self.orderer.confirmed_count)
         self._last_checkpoint = message
-        self.resources.record_crypto(self.node_id, "sign")
+        self.record_crypto_op("sign")
         self.multicast_protocol_message(message, message.size_bytes)
 
     def _on_checkpoint(self, sender: int, message: CheckpointMessage) -> None:
-        self.resources.record_crypto(self.node_id, "verify")
+        self.record_crypto_op("verify")
         became_stable = self.checkpoints.on_checkpoint(message)
         if self.pacemaker is None:
             return
@@ -495,6 +629,13 @@ class MultiBFTReplica(Node):
         for instance in self.instances.values():
             if hasattr(instance, "begin_epoch"):
                 instance.begin_epoch(new_epoch)
+        # Checkpoint vote state for long-settled epochs is dead: the cluster
+        # advanced past them, so their quorums can never matter again.  The
+        # previous epoch is kept for the view-change re-broadcast rule.
+        self.checkpoints.prune_below(new_epoch - 1)
+        self._checkpoint_sent_for = {
+            e for e in self._checkpoint_sent_for if e >= new_epoch - 1
+        }
 
     # ------------------------------------------------------------ view change
     def _on_view_installed(self, instance_id: int, view: int) -> None:
@@ -550,6 +691,10 @@ class MultiBFTSystem:
         self.resources = ResourceModel()
         self.effective_faults = effective_faults
         self.traffic_stream = config.build_traffic_stream()
+        # The observer is fixed by the fault config, so it is known before
+        # the replicas exist; in bounded-memory mode every *other* replica
+        # keeps compact histories only (see SystemConfig.bounded_memory).
+        self._observer_id = self.observer_id()
         self.replicas: Dict[int, MultiBFTReplica] = {}
         for replica_id in range(config.n):
             replica = self.build_replica(replica_id)
@@ -562,7 +707,10 @@ class MultiBFTSystem:
 
     # ------------------------------------------------------------- factories
     def build_replica(self, replica_id: int) -> MultiBFTReplica:
-        return self.replica_class(replica_id, self.runtime, self.config, self.resources)
+        retain = (not self.config.bounded_memory) or replica_id == self._observer_id
+        return self.replica_class(
+            replica_id, self.runtime, self.config, self.resources, retain_history=retain
+        )
 
     # ---------------------------------------------------------- introspection
     @property
@@ -594,7 +742,7 @@ class MultiBFTSystem:
         return self.collect_result()
 
     def collect_result(self) -> SystemResult:
-        observer = self.replicas[self.observer_id()]
+        observer = self.replicas[self._observer_id]
         # Attribute network byte counts to per-replica resource usage so that
         # the bandwidth numbers reflect what was actually pushed to the NIC.
         for replica_id, byte_count in self.runtime.stats.bytes_per_node.items():

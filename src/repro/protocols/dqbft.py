@@ -31,13 +31,18 @@ class DQBFTReplica(MultiBFTReplica):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.ordering_instance_id = self.config.m
-        self.instances[self.ordering_instance_id] = self._build_ordering_instance()
+        ordering_instance = self._build_ordering_instance()
+        ordering_instance.retain_blocks = self.retain_history
+        self.instances[self.ordering_instance_id] = ordering_instance
+        self._build_route()  # include the ordering instance in the fast path
         # Blocks this replica (as the sequencer) still has to sequence.
         self._pending_decisions: List[BlockId] = []
 
     # ------------------------------------------------------------- factories
     def build_orderer(self) -> GlobalOrderer:
-        return DQBFTOrderer(num_instances=self.config.m)
+        return DQBFTOrderer(
+            num_instances=self.config.m, retain_blocks=self.retain_history
+        )
 
     def instance_class(self):
         return PBFTInstance

@@ -24,7 +24,9 @@ class ISSReplica(MultiBFTReplica):
     instance_cls: Type = PBFTInstance
 
     def build_orderer(self) -> GlobalOrderer:
-        return PredeterminedOrderer(num_instances=self.config.m)
+        return PredeterminedOrderer(
+            num_instances=self.config.m, retain_blocks=self.retain_history
+        )
 
     def instance_class(self) -> Type:
         return self.instance_cls

@@ -25,7 +25,9 @@ class LadonReplica(MultiBFTReplica):
     instance_cls: Type = LadonPBFTInstance
 
     def build_orderer(self) -> GlobalOrderer:
-        return DynamicOrderer(num_instances=self.config.m)
+        return DynamicOrderer(
+            num_instances=self.config.m, retain_blocks=self.retain_history
+        )
 
     def instance_class(self) -> Type:
         return self.instance_cls

@@ -32,10 +32,16 @@ REQUEST_VERIFICATION_FRACTION = 0.02
 class MirPBFTInstance(PBFTInstance):
     """PBFT instance with Mir's per-batch request re-verification cost."""
 
+    #: the request re-verification is accounted *before* the entry verify,
+    #: so this handler opts out of the dispatch-site accounting and records
+    #: both itself, preserving the historical accumulation order bit-exactly
+    SELF_ACCOUNTING = frozenset({PrePrepare})
+
     def _on_pre_prepare(self, sender: int, message: PrePrepare) -> None:
         if message.tx_count:
             extra_verifies = max(1, int(message.tx_count * REQUEST_VERIFICATION_FRACTION))
             self.context.record_crypto("verify", count=extra_verifies)
+        self.context.record_crypto("verify")  # the entry verification
         super()._on_pre_prepare(sender, message)
 
 
@@ -45,7 +51,9 @@ class MirReplica(MultiBFTReplica):
     uses_epochs = False
 
     def build_orderer(self) -> GlobalOrderer:
-        return PredeterminedOrderer(num_instances=self.config.m)
+        return PredeterminedOrderer(
+            num_instances=self.config.m, retain_blocks=self.retain_history
+        )
 
     def instance_class(self):
         return MirPBFTInstance

@@ -37,7 +37,9 @@ class RCCReplica(MultiBFTReplica):
         self.replacement_requests: List[int] = []
 
     def build_orderer(self) -> GlobalOrderer:
-        return PredeterminedOrderer(num_instances=self.config.m)
+        return PredeterminedOrderer(
+            num_instances=self.config.m, retain_blocks=self.retain_history
+        )
 
     def instance_class(self):
         return PBFTInstance

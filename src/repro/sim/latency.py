@@ -54,6 +54,24 @@ class LatencyModel:
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def multicast_profile(self, sender: int, receivers) -> Optional[tuple]:
+        """Optional fan-out fast path: ``(base_row, jitter)`` or None.
+
+        ``base_row[r]`` is the deterministic base delay ``sender -> r``
+        (guaranteed filled for every id in ``receivers``) and ``jitter``
+        the uniform jitter magnitude; the transport then computes
+        ``base_row[r] + rng.random() * jitter`` inline — **exactly** one RNG
+        draw per receiver, matching :meth:`delay` draw-for-draw so RNG
+        streams stay byte-identical.  Implementations must resolve base
+        delays lazily per pair (only for the ``receivers`` asked about) so
+        unknown-pair warn/raise semantics stay tied to first *use*, exactly
+        like :meth:`delay`.  Models whose draw count depends on parameters
+        (e.g. zero-jitter skips the draw) must return None unless they
+        encode that case in the row/jitter pair.  The base implementation
+        returns None (per-receiver ``delay`` calls).
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -85,6 +103,16 @@ class LanLatency(LatencyModel):
             return 0.0
         return self.base + rng.random() * self.jitter
 
+    def multicast_profile(self, sender: int, receivers):
+        """Constant row (self pairs are handled by the transport's no-draw
+        branch).  The row grows to cover the highest receiver id asked
+        about (``receivers`` arrive ascending, so the last one bounds it)."""
+        row = getattr(self, "_profile_row", None)
+        highest = max(receivers) if receivers else 0
+        if row is None or highest >= len(row):
+            row = self._profile_row = [self.base] * (max(highest, sender, 255) + 1)
+        return row, self.jitter
+
 
 class WanLatency(LatencyModel):
     """Four-region WAN latency as in the paper's deployment.
@@ -109,6 +137,13 @@ class WanLatency(LatencyModel):
         self._assignment: List[str] = [
             self.regions[i % len(self.regions)].name for i in range(n)
         ]
+        # Hot path: base delays are deterministic per (sender, receiver), so
+        # they are cached in a flat n*n table, filled lazily through
+        # ``_base_delay`` (laziness keeps the unknown-pair warning/raise
+        # semantics tied to first *use*, exactly as before).
+        self._n = n
+        self._pair_base: List[Optional[float]] = [None] * (n * n)
+        self._profile_rows: Dict[int, List[Optional[float]]] = {}
 
     def region_of(self, replica: int) -> str:
         return self._assignment[replica]
@@ -141,8 +176,42 @@ class WanLatency(LatencyModel):
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         if sender == receiver:
             return 0.0
-        base = self._base_delay(self.region_of(sender), self.region_of(receiver))
+        index = sender * self._n + receiver
+        base = self._pair_base[index]
+        if base is None:
+            base = self._base_delay(self.region_of(sender), self.region_of(receiver))
+            self._pair_base[index] = base
         return base + rng.random() * self.jitter
+
+    def multicast_profile(self, sender: int, receivers):
+        """(base_row, jitter) for the transport's fused fan-out.
+
+        ``delay`` always draws exactly one jitter sample per pair (even at
+        jitter 0), so the inline ``base + rng.random() * jitter`` matches it
+        draw-for-draw.  The row is filled **lazily, per requested pair**, so
+        the unknown-pair warn/raise semantics of ``_base_delay`` fire on
+        first use of that pair — never for pairs a filtered fan-out avoids.
+        """
+        row = self._profile_rows.get(sender)
+        if row is None:
+            row = self._profile_rows[sender] = [None] * self._n
+        n = self._n
+        pair_base = self._pair_base
+        for receiver in receivers:
+            if row[receiver] is None:
+                if receiver == sender:
+                    # The transport's no-draw self branch never reads this,
+                    # but keep the slot well-defined.
+                    row[receiver] = 0.0
+                    continue
+                index = sender * n + receiver
+                base = pair_base[index]
+                if base is None:
+                    base = pair_base[index] = self._base_delay(
+                        self.region_of(sender), self.region_of(receiver)
+                    )
+                row[receiver] = base
+        return row, self.jitter
 
     def describe(self) -> str:
         return f"WAN({len(self.regions)} regions)"

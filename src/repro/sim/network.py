@@ -23,10 +23,12 @@ scheduler.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.sim.events import EventQueue
 from repro.sim.latency import LatencyModel, UniformLatency
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -36,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 GIGABIT_PER_SECOND_BYTES = 125_000_000  # 1 Gbps in bytes/second
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkConfig:
     """Configuration of the message transport."""
 
@@ -53,7 +55,7 @@ class NetworkConfig:
         return self.bandwidth_bytes_per_s
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate transport statistics for one run."""
 
@@ -102,6 +104,20 @@ class Network:
         self._partition_group: Optional[Dict[int, int]] = None
         self._latency_scale: float = 1.0
         self._rng = random.Random(simulator.rng.randint(0, 2**31 - 1))
+        # DES fast path: push delivery entries straight onto the event heap
+        # (None on backends whose scheduler is not the DES EventQueue).
+        queue = getattr(simulator, "queue", None)
+        self._fast_queue: Optional[EventQueue] = (
+            queue if isinstance(queue, EventQueue) else None
+        )
+        # Arrival times are provably >= now (departure >= now, delays >= 0),
+        # so the DES backend's unchecked scheduling path is safe; other
+        # backends (realtime) keep their guarded schedule_call.  Resolved
+        # once here — send() and multicast() are the hot path.
+        self._schedule_call = (
+            getattr(simulator, "schedule_call_unchecked", None)
+            or simulator.schedule_call
+        )
 
     # --------------------------------------------------------- registration
     def register(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
@@ -215,7 +231,8 @@ class Network:
                 f"latency model produced a negative delay for {sender}->{receiver}"
             )
         arrival = departure + propagation + config.processing_delay
-        self.simulator.schedule_call(arrival, self._deliver, sender, receiver, message)
+        schedule_call = self._schedule_call
+        schedule_call(arrival, self._deliver, sender, receiver, message)
 
         if (
             config.duplicate_probability
@@ -225,7 +242,7 @@ class Network:
             # independent propagation delay (retransmission/route flap model).
             stats.messages_duplicated += 1
             extra = self.latency.delay(sender, receiver, self._rng) * self._latency_scale
-            self.simulator.schedule_call(
+            schedule_call(
                 departure + extra + config.processing_delay,
                 self._deliver,
                 sender,
@@ -245,10 +262,14 @@ class Network:
         """Send the same message to every receiver (including possibly sender).
 
         One fused fan-out: the shared per-send quantities (transmission time,
-        config lookups, bound methods) are hoisted out of the receiver loop,
-        and deliveries go through the closure-free ``schedule_call`` path.
-        The per-receiver operation order matches a loop of :meth:`send`
-        calls exactly, so statistics, uplink serialisation, and RNG draws are
+        config lookups, bound methods) are hoisted out of the receiver loop.
+        On the DES backend with a latency model exposing
+        :meth:`~repro.sim.latency.LatencyModel.multicast_profile`, the happy
+        path (no filter/partition/loss/duplication) computes the propagation
+        inline and pushes delivery entries straight onto the event heap — no
+        per-receiver Python frame at all.  The per-receiver operation order
+        (and every RNG draw) matches a loop of :meth:`send` calls exactly,
+        so statistics, uplink serialisation, and event ordering are
         indistinguishable from per-receiver unicasts.
         """
         stats = self.stats
@@ -259,9 +280,7 @@ class Network:
         partitioned = self._partition_group is not None
         processing_delay = config.processing_delay
         latency_scale = self._latency_scale
-        delay = self.latency.delay
         rng_random = self._rng.random
-        schedule_call = self.simulator.schedule_call
         deliver = self._deliver
         bytes_per_node = stats.bytes_per_node
         messages_per_node = stats.messages_per_node
@@ -277,6 +296,54 @@ class Network:
         now = self.simulator.now()
         uplink_free = self._uplink_free_at.get(sender, 0.0)
 
+        # ---------------- DES fast path: direct heap pushes, inline latency
+        queue = self._fast_queue
+        profile = (
+            self.latency.multicast_profile(sender, receivers)
+            if queue is not None
+            and link_filter is None
+            and not partitioned
+            and not drop_probability
+            and not duplicate_probability
+            else None
+        )
+        if profile is not None:
+            base_row, jitter = profile
+            heap = queue._heap
+            seq = queue._counter
+            push = heapq.heappush
+            sent = 0
+            if uplink_free < now:
+                uplink_free = now
+            for receiver in receivers:
+                sent += 1
+                departure = uplink_free = uplink_free + transmission
+                if receiver == sender:
+                    # delay() contract: self pairs are 0.0 with NO rng draw
+                    # (departure + 0.0 + processing == departure + processing).
+                    arrival = departure + processing_delay
+                else:
+                    # Same left-to-right float order as the general path:
+                    # departure + propagation + processing_delay.
+                    arrival = (
+                        departure
+                        + (base_row[receiver] + rng_random() * jitter) * latency_scale
+                        + processing_delay
+                    )
+                push(heap, (arrival, next(seq), deliver, sender, receiver, message))
+            if sent:
+                queue._live += sent
+                total_bytes = size_bytes * sent
+                stats.messages_sent += sent
+                stats.bytes_sent += total_bytes
+                bytes_per_node[sender] = bytes_per_node.get(sender, 0) + total_bytes
+                messages_per_node[sender] = messages_per_node.get(sender, 0) + sent
+                self._uplink_free_at[sender] = uplink_free
+            return
+
+        # ------------------------------- general path: per-receiver delay()
+        delay = self.latency.delay
+        schedule_call = self._schedule_call
         sent = 0
         total_bytes = 0
         for receiver in receivers:

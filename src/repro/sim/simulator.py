@@ -27,6 +27,9 @@ class Simulator:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self._events_processed = 0
         self._stopped = False
+        #: hot-path alias for the network: schedule ``fn(a, b, c)`` with no
+        #: past-time guard (delivery times are already validated upstream)
+        self.schedule_call_unchecked = self.queue.push_call
 
     # ------------------------------------------------------------------ time
     def now(self) -> float:
@@ -86,30 +89,38 @@ class Simulator:
         heappop = heapq.heappop
         processed = 0
         events_class = Event
-        while heap and not self._stopped:
-            entry = heap[0]
-            payload = entry[2]
-            is_event = payload.__class__ is events_class
-            if is_event and payload.cancelled:
-                heappop(heap)
-                queue._forget(payload)
-                continue
-            if until is not None and entry[0] > until:
-                clock.advance_to(until)
-                return until
-            heappop(heap)
-            clock._now = entry[0]
-            if is_event:
-                queue._forget(payload)
-                payload.popped = True
-                payload.callback()
-            else:
-                queue._live -= 1
-                payload(entry[3], entry[4], entry[5])
-            self._events_processed += 1
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
+        try:
+            while heap and not self._stopped:
+                # Pop eagerly (one heap operation per event instead of a
+                # peek + pop); an entry beyond the horizon is pushed back.
+                entry = heappop(heap)
+                payload = entry[2]
+                if payload.__class__ is events_class:
+                    if payload.cancelled:
+                        queue._forget(payload)
+                        continue
+                    if until is not None and entry[0] > until:
+                        heapq.heappush(heap, entry)
+                        clock.advance_to(until)
+                        return until
+                    clock._now = entry[0]
+                    queue._forget(payload)
+                    payload.popped = True
+                    payload.callback()
+                else:
+                    if until is not None and entry[0] > until:
+                        heapq.heappush(heap, entry)
+                        clock.advance_to(until)
+                        return until
+                    clock._now = entry[0]
+                    queue._live -= 1
+                    payload(entry[3], entry[4], entry[5])
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            # Batched: one attribute store per run() instead of one per event.
+            self._events_processed += processed
         # Fast-forward to the horizon only when the queue truly drained:
         # breaking on ``max_events`` (or ``stop()``) leaves live events behind,
         # and jumping the clock past them would make a later ``run()`` process

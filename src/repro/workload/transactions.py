@@ -15,7 +15,7 @@ from typing import Iterator, Optional
 DEFAULT_PAYLOAD_BYTES = 500
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """A client transaction submitted to the Multi-BFT system."""
 
@@ -36,7 +36,7 @@ class Transaction:
         return f"tx#{self.tx_id}(client={self.client_id})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch:
     """A batch of transactions cut by a leader.
 

@@ -344,3 +344,112 @@ class TestNewViewReproposal:
                        for m, _ in context.multicasts)
         # the pacing loop proposes the round fresh instead
         assert instance.next_round == 1
+
+
+class TestBoundedMemoryGC:
+    """Commit-time GC: vote state and log entries are O(active window)."""
+
+    def _commit_round_via_others(self, instance, round, digest):
+        """Commit ``round`` at a backup through the others' commit quorum
+        while its own prepare quorum stays incomplete (lossy prepares)."""
+        pre = PrePrepare(sender=0, instance=0, view=0, round=round,
+                         digest=digest, tx_count=2, rank=round)
+        instance.on_message(0, pre)
+        for sender in (0, 2, 3):
+            instance.on_message(sender, Commit(
+                sender=sender, instance=0, view=0, round=round,
+                digest=digest, rank=round,
+            ))
+
+    def _commit_round_fully(self, instance, round, digest):
+        pre = PrePrepare(sender=0, instance=0, view=0, round=round,
+                         digest=digest, tx_count=2, rank=round)
+        instance.on_message(0, pre)
+        for sender in (0, 2, 3):
+            instance.on_message(sender, Prepare(
+                sender=sender, instance=0, view=0, round=round,
+                digest=digest, rank=round,
+            ))
+        for sender in (0, 2, 3):
+            instance.on_message(sender, Commit(
+                sender=sender, instance=0, view=0, round=round,
+                digest=digest, rank=round,
+            ))
+
+    def test_committed_rounds_pruned_and_votes_released(self):
+        instance, _ = make_instance(replica_id=1)
+        for round in (1, 2, 3):
+            self._commit_round_fully(instance, round, f"d{round}")
+        assert instance.last_committed_round == 3
+        assert instance._stable_round == 3
+        assert instance.log == {}
+        assert instance.prepare_votes.tracked_keys() == 0
+        assert instance.commit_votes.tracked_keys() == 0
+        assert instance._digest_ids == {}
+        assert instance._round_digests == {}
+
+    def test_deferred_commit_send_does_not_wedge_watermark(self):
+        """A round committed via the others' commit quorum (own prepare
+        quorum incomplete) must not block the GC watermark — and the late
+        prepare quorum must still fire the commit send afterwards."""
+        instance, ctx = make_instance(replica_id=1)
+        self._commit_round_via_others(instance, 1, "d1")
+        entry = instance.log[1]
+        assert entry.committed and not entry.sent_commit
+        # The watermark advanced past the deferred round...
+        assert instance._stable_round == 1
+        assert 1 in instance._deferred_sends
+        # ...and later committed rounds prune normally (no wedge).
+        for round in (2, 3):
+            self._commit_round_fully(instance, round, f"d{round}")
+        assert instance._stable_round == 3
+        assert 2 not in instance.log and 3 not in instance.log
+        assert 1 in instance.log  # still pinned by the pending commit send
+
+        # The late prepare quorum lands: the commit send fires and the
+        # deferred round's state is finally released.
+        before = len([m for m, _ in ctx.multicasts
+                      if isinstance(m, Commit) and m.round == 1])
+        for sender in (0, 2, 3):
+            instance.on_message(sender, Prepare(
+                sender=sender, instance=0, view=0, round=1,
+                digest="d1", rank=1,
+            ))
+        late_commits = [m for m, _ in ctx.multicasts
+                        if isinstance(m, Commit) and m.round == 1]
+        assert len(late_commits) == before + 1  # the deferred send fired
+        assert 1 not in instance._deferred_sends
+        assert 1 not in instance.log
+        assert instance.prepare_votes.tracked_keys() == 0
+        assert instance._digest_ids == {}
+
+    def test_view_change_finalizes_deferred_sends(self):
+        """After a view change the missing prepares are undeliverable, so a
+        deferred round's state is released instead of pinned forever."""
+        instance, _ = make_instance(replica_id=1)
+        self._commit_round_via_others(instance, 1, "d1")
+        assert 1 in instance._deferred_sends
+        new_view = NewView(sender=1, instance=0, view=1, round=2,
+                           view_change_count=QUORUM, resume_round=2)
+        instance.on_message(1, new_view)
+        assert instance.view == 1
+        assert instance._deferred_sends == set()
+        assert 1 not in instance.log
+
+    def test_forged_digest_vote_state_released_with_round(self):
+        """Sub-quorum votes for a forged (equivocated) digest are released
+        when their round's GC runs — a pre-quorum vote flood cannot grow
+        memory round over round."""
+        instance, _ = make_instance(replica_id=1)
+        for round in (1, 2, 3):
+            # Two forged-world votes arrive alongside the honest flow.
+            for sender in (2, 3):
+                instance.on_message(sender, Prepare(
+                    sender=sender, instance=0, view=0, round=round,
+                    digest=f"forged{round}", rank=round,
+                ))
+            self._commit_round_fully(instance, round, f"d{round}")
+        assert instance._digest_ids == {}
+        assert instance._round_digests == {}
+        assert instance.prepare_votes.tracked_keys() == 0
+        assert instance.commit_votes.tracked_keys() == 0

@@ -115,8 +115,8 @@ def test_fenced_bench_command_parses(doc, command):
                 from repro.adversary.registry import get_adversary
 
                 get_adversary(name)
-    elif head == "run":
-        _run_help(["run", "--help"])
+    elif head in ("run", "perf"):
+        _run_help([head, "--help"])
     elif head == "list":
         _run_help(["list"])
     else:

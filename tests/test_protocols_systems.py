@@ -102,8 +102,11 @@ class TestLadonBehaviour:
     def test_replicas_agree_on_confirmed_prefix(self):
         system = build_system(small_config("ladon-pbft"))
         system.run()
+        # Non-observer replicas keep compact fingerprints only (bounded
+        # memory), which carry exactly the identity the prefix check needs.
         logs = [
-            [c.block.block_id for c in replica.orderer.confirmed]
+            [(inst, round) for _sn, inst, round, _rank, _digest
+             in replica.orderer.confirmed_fingerprints()]
             for replica in system.replicas.values()
         ]
         shortest = min(len(log) for log in logs)
