@@ -13,6 +13,7 @@ along by reference (``txs`` is the same tuple object at every hop), so a
 message fan-out never copies payload data.
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 from dataclasses import dataclass, field

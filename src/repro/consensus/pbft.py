@@ -24,6 +24,7 @@ Hot-path / memory notes:
   the bounded-memory system mode disables it off the observer replica).
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -414,6 +415,7 @@ class PBFTInstance(ConsensusInstance):
 
     # ------------------------------------------------------------ view change
     def _round_timer_name(self, round: int) -> str:
+        # staticcheck: ignore[HOT-002] -- per-round timer arming, not per-message; ~1 format per proposal
         return f"{self.ROUND_TIMER}:{self.instance_id}:{round}"
 
     def _arm_round_timer(self, round: int) -> None:
@@ -432,6 +434,7 @@ class PBFTInstance(ConsensusInstance):
         if self.propose_timeout is None:
             return
         self.context.set_timer(
+            # staticcheck: ignore[HOT-002] -- fires once per proposal window, only in the Fig. 8 crash experiment
             f"pbft-propose:{self.instance_id}",
             self.propose_timeout,
             self._on_propose_timeout,

@@ -19,6 +19,7 @@ Two memory guarantees back the bounded-memory mode of the protocol layer:
   ``track_post_quorum=True`` to opt back in (diagnostics).
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 from dataclasses import dataclass, field

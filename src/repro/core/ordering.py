@@ -22,6 +22,7 @@ reference :class:`ScanDrainDynamicOrderer` by equivalence property tests):
   everything, so experiment outputs are unchanged).
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 import heapq

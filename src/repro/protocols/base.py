@@ -235,6 +235,10 @@ class MultiBFTReplica(Node):
         #: created in first-activity order (the aggregation in Table 1 sums
         #: floats in that order, and it must stay reproducible).
         self._usage = None
+        #: trace recorder from the runtime seam (disabled by default); the
+        #: confirmation path records into it so runs have a replayable,
+        #: digestable event log (see tests/test_determinism.py)
+        self._trace = runtime.trace
         self._message_handling_cost = resources.cost_model.message_handling
         self._per_byte_cost = resources.cost_model.per_byte
         self._crypto_costs = resources.cost_table()
@@ -591,6 +595,18 @@ class MultiBFTReplica(Node):
         newly = self.feed_orderer(block)
         if newly:
             self.metrics.record_confirmations(newly)
+            if self._trace.enabled:
+                for confirmed in newly:
+                    confirmed_block = confirmed.block
+                    self._trace.record(
+                        confirmed.confirmed_at,
+                        "confirm",
+                        self.node_id,
+                        instance=confirmed_block.instance,
+                        round=confirmed_block.round,
+                        rank=confirmed_block.rank,
+                        digest=confirmed_block.payload_digest,
+                    )
             self.on_confirmations(newly)
         if self.pacemaker is not None:
             self._maybe_checkpoint()

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from types import MappingProxyType
+from typing import List, Mapping, Type
 
 from repro.protocols.base import MultiBFTSystem, SystemConfig
 from repro.protocols.dqbft import DQBFTSystem
@@ -11,8 +12,9 @@ from repro.protocols.ladon import LadonHotStuffSystem, LadonOptSystem, LadonPBFT
 from repro.protocols.mir import MirSystem
 from repro.protocols.rcc import RCCSystem
 
-
-_REGISTRY: Dict[str, Type[MultiBFTSystem]] = {
+# Read-only mappings (ISO-001): worker processes import this module, so the
+# registry must be immutable shared state, not a mutable module global.
+_REGISTRY: Mapping[str, Type[MultiBFTSystem]] = MappingProxyType({
     "ladon-pbft": LadonPBFTSystem,
     "ladon-opt": LadonOptSystem,
     "ladon-hotstuff": LadonHotStuffSystem,
@@ -21,15 +23,15 @@ _REGISTRY: Dict[str, Type[MultiBFTSystem]] = {
     "mir": MirSystem,
     "rcc": RCCSystem,
     "dqbft": DQBFTSystem,
-}
+})
 
-_ALIASES: Dict[str, str] = {
+_ALIASES: Mapping[str, str] = MappingProxyType({
     "ladon": "ladon-pbft",
     "iss": "iss-pbft",
     "mir-pbft": "mir",
     "rcc-pbft": "rcc",
     "dqbft-pbft": "dqbft",
-}
+})
 
 
 def available_protocols() -> List[str]:

@@ -9,6 +9,7 @@ methods) so the seam adds zero per-event indirection: ``runtime.send`` *is*
 ``network.send``.
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence

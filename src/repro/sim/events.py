@@ -14,6 +14,7 @@ Events are ordered by ``(time, seq)`` so that two events scheduled for the
 same instant fire in scheduling order, keeping runs deterministic.
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 import heapq

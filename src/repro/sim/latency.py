@@ -250,7 +250,9 @@ class TopologyLatency(LatencyModel):
             self._delays[(a, b)] = value
             if symmetric:
                 self._delays.setdefault((b, a), value)
-        for region in set(self._assignment):
+        # dict.fromkeys, not set(): first-appearance order is deterministic
+        # run-to-run (DET-005)
+        for region in dict.fromkeys(self._assignment):
             self._delays.setdefault((region, region), INTRA_REGION_DELAY)
 
     @property

@@ -21,6 +21,7 @@ the realtime runtime reuses this exact transport model on a wall-clock
 scheduler.
 """
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 import heapq

@@ -1,5 +1,6 @@
 """Discrete-event simulator core."""
 
+# staticcheck: hot-path
 from __future__ import annotations
 
 import heapq

@@ -1,0 +1,41 @@
+"""repro.staticcheck — determinism & isolation static analysis.
+
+An AST-based rule engine with project-specific rules over ``src/repro/``:
+
+* **SEAM** — the sans-I/O architecture boundary: protocol-layer packages
+  talk only to the :mod:`repro.runtime` seam, never the DES engine or
+  ``asyncio``/``time``/``threading`` directly;
+* **DET** — no nondeterminism sources (wall clocks, the process-global RNG,
+  OS entropy, ``id()`` ordering, bare-set iteration) in DES-reachable code;
+* **ISO** — shared-state/aliasing rules that gate the sharded multi-core
+  DES: no module-level mutable state in protocols/consensus, no mutation of
+  received messages in handlers, no frozen-flyweight escapes;
+* **HOT** — hot-path hygiene for modules marked ``# staticcheck: hot-path``:
+  frozen+slots message dataclasses, no per-event string formatting, no
+  mutable default arguments (tree-wide).
+
+Run it with ``python -m repro.staticcheck src``; suppress a single line
+with ``# staticcheck: ignore[RULE-ID] -- reason``.  See EXPERIMENTS.md
+("Static checks") for the full catalog and policy.
+"""
+
+from repro.staticcheck.engine import (
+    CheckReport,
+    SourceModule,
+    check_paths,
+    check_source,
+)
+from repro.staticcheck.rules import ALL_RULES, ALL_RULE_IDS, Rule, select_rules
+from repro.staticcheck.violations import Violation
+
+__all__ = [
+    "ALL_RULES",
+    "ALL_RULE_IDS",
+    "CheckReport",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "check_paths",
+    "check_source",
+    "select_rules",
+]

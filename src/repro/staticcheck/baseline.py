@@ -1,0 +1,40 @@
+"""Optional baseline file: adopt the checker on a tree with known debt.
+
+A baseline records the fingerprints of currently-accepted violations so the
+CLI only fails on *new* ones.  Fingerprints hash the violating line's
+content (not its number), so pure line drift does not resurrect entries.
+
+This repo ships with an empty baseline — the tree runs clean — but the
+mechanism is what lets a rule land before its last violation is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.staticcheck.violations import Violation
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> List[str]:
+    """Fingerprints stored in ``path``; raises ValueError on a bad file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a v{BASELINE_VERSION} staticcheck baseline")
+    entries = data.get("entries", [])
+    if not all(isinstance(entry, str) for entry in entries):
+        raise ValueError(f"{path}: baseline entries must be fingerprint strings")
+    return list(entries)
+
+
+def write_baseline(path: str, violations: Iterable[Violation]) -> int:
+    """Write the violations' fingerprints; returns the entry count."""
+    entries = sorted({violation.fingerprint for violation in violations})
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

@@ -1,0 +1,56 @@
+"""The rule registry.
+
+Four families, thirteen rules::
+
+    SEAM-00x  sans-I/O architecture boundary   (rules/seam.py)
+    DET-00x   determinism sources              (rules/det.py)
+    ISO-00x   shared-state / aliasing          (rules/iso.py)
+    HOT-00x   hot-path hygiene                 (rules/hot.py)
+
+plus the engine-level meta-ids ``SC-000`` (parse error) and ``SC-001``
+(suppression without a reason), which are not selectable rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.det import DET_RULES
+from repro.staticcheck.rules.hot import HOT_RULES
+from repro.staticcheck.rules.iso import ISO_RULES
+from repro.staticcheck.rules.seam import SEAM_RULES
+
+#: every registered rule, in catalog order
+ALL_RULES: Tuple[Rule, ...] = SEAM_RULES + DET_RULES + ISO_RULES + HOT_RULES
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
+
+
+def select_rules(
+    select: Sequence[str] = (), ignore: Sequence[str] = ()
+) -> List[Rule]:
+    """Filter the registry by id or family prefix (``DET`` == all DET-*).
+
+    Unknown selectors raise ``ValueError`` so typos fail loudly instead of
+    silently checking nothing.
+    """
+
+    def matches(rule: Rule, selector: str) -> bool:
+        return rule.id == selector or rule.id.startswith(selector.rstrip("-") + "-")
+
+    for selector in tuple(select) + tuple(ignore):
+        if not any(matches(rule, selector) for rule in ALL_RULES):
+            raise ValueError(
+                f"unknown rule selector {selector!r}; known: {', '.join(ALL_RULE_IDS)}"
+            )
+    chosen = [
+        rule
+        for rule in ALL_RULES
+        if (not select or any(matches(rule, s) for s in select))
+        and not any(matches(rule, s) for s in ignore)
+    ]
+    return chosen
+
+
+__all__ = ["ALL_RULES", "ALL_RULE_IDS", "Rule", "select_rules"]

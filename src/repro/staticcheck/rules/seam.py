@@ -1,0 +1,97 @@
+"""SEAM rules: the sans-I/O architecture boundary (PR 4's runtime seam).
+
+Protocol-layer packages (`protocols`, `consensus`, `core`, `adversary`)
+must be executable under any :class:`repro.runtime.base.Runtime` backend —
+DES virtual time today, sharded worker processes tomorrow.  That only holds
+if they never import the simulation engine or the OS clock/IO machinery
+directly.  These rules generalise the ad hoc import lint that used to live
+in ``tests/test_runtime.py``.
+
+Imports under ``if TYPE_CHECKING:`` are exempt (annotation-only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.rules.base import (
+    Rule,
+    SANS_IO_PACKAGES,
+    walk_with_context,
+)
+from repro.staticcheck.violations import Violation
+
+#: the DES engine internals protocol code must never see
+ENGINE_MODULES = ("repro.sim.simulator", "repro.sim.network")
+
+#: stdlib modules that smuggle in wall-clock time, threads, or raw I/O
+IO_MODULES = frozenset(
+    {"asyncio", "time", "threading", "socket", "selectors", "multiprocessing"}
+)
+
+
+def _imported_modules(node: ast.AST) -> Iterator[str]:
+    """Dotted module names a single import statement binds."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        yield node.module
+        # ``from repro.sim import network`` imports the submodule too
+        for alias in node.names:
+            yield f"{node.module}.{alias.name}"
+
+
+class SeamEngineImportRule(Rule):
+    id = "SEAM-001"
+    name = "no direct simulator/network import"
+    scope = "repro.{protocols,consensus,core,adversary}"
+
+    def applies(self, module) -> bool:
+        return module.package in SANS_IO_PACKAGES
+
+    def check(self, module) -> Iterator[Violation]:
+        for node, ctx in walk_with_context(module.tree):
+            if ctx.in_type_checking:
+                continue
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for name in _imported_modules(node):
+                if any(name == m or name.startswith(m + ".") for m in ENGINE_MODULES):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"sans-I/O package imports the DES engine ({name}); "
+                        "talk to repro.runtime instead",
+                    )
+                    break
+
+
+class SeamIOImportRule(Rule):
+    id = "SEAM-002"
+    name = "no direct asyncio/time/threading import"
+    scope = "repro.{protocols,consensus,core,adversary}"
+
+    def applies(self, module) -> bool:
+        return module.package in SANS_IO_PACKAGES
+
+    def check(self, module) -> Iterator[Violation]:
+        for node, ctx in walk_with_context(module.tree):
+            if ctx.in_type_checking:
+                continue
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for name in _imported_modules(node):
+                root = name.split(".")[0]
+                if root in IO_MODULES:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"sans-I/O package imports {root!r} directly; clocks, "
+                        "timers, and transport come from the Runtime seam",
+                    )
+                    break
+
+
+SEAM_RULES = (SeamEngineImportRule(), SeamIOImportRule())

@@ -1,0 +1,104 @@
+"""Inline suppression comments.
+
+Syntax (one comment, same line as the violation or a standalone comment on
+the line directly above it)::
+
+    risky_thing()  # staticcheck: ignore[DET-005] -- reason why this is fine
+    # staticcheck: ignore[ISO-001,HOT-003] -- shared registry, mutated via register()
+    next_line_is_covered()
+
+``ignore[*]`` suppresses every rule on the target line.  The ``-- reason``
+clause is **mandatory policy**: a suppression without one is itself reported
+as an ``SC-001`` violation, so the tree never accumulates unexplained
+exemptions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.staticcheck.violations import Violation
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore\[([A-Za-z*][A-Za-z0-9*,\- ]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: rule id of the meta-rule "suppression without a reason string"
+REASONLESS_RULE = "SC-001"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``# staticcheck: ignore[...]`` comment."""
+
+    line: int  # line the comment sits on (1-based)
+    rules: Tuple[str, ...]  # suppressed rule ids, or ("*",)
+    reason: str  # empty when the mandatory reason clause is missing
+    standalone: bool  # True when the line holds only the comment
+
+    def covers(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Suppression]:
+    """Map *target* line number -> suppression covering it.
+
+    A standalone comment covers the next line; an end-of-line comment covers
+    its own line.
+    """
+    by_target: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        standalone = text.strip().startswith("#")
+        suppression = Suppression(
+            line=lineno,
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+            standalone=standalone,
+        )
+        target = lineno + 1 if standalone else lineno
+        by_target[target] = suppression
+    return by_target
+
+
+def apply_suppressions(
+    violations: List[Violation],
+    by_target: Dict[int, Suppression],
+    path: str,
+    lines: List[str],
+) -> List[Violation]:
+    """Drop suppressed violations; report reasonless suppression comments."""
+    kept = [
+        v
+        for v in violations
+        if not (
+            (s := by_target.get(v.line)) is not None and s.covers(v.rule)
+        )
+    ]
+    for suppression in by_target.values():
+        if suppression.reason:
+            continue
+        snippet = lines[suppression.line - 1].strip()
+        kept.append(
+            Violation(
+                rule=REASONLESS_RULE,
+                severity="error",
+                path=path,
+                line=suppression.line,
+                col=0,
+                message=(
+                    "suppression has no reason string; write "
+                    "'# staticcheck: ignore[RULE] -- why this is fine'"
+                ),
+                snippet=snippet,
+            )
+        )
+    return kept

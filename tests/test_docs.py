@@ -126,6 +126,49 @@ def test_fenced_bench_command_parses(doc, command):
         _run_help([head, "--help"])
 
 
+def _fenced_staticcheck_commands():
+    """Every ``python -m repro.staticcheck ...`` line inside a code fence."""
+    commands = []
+    for doc in DOCS:
+        text = open(os.path.join(REPO_ROOT, doc), encoding="utf-8").read()
+        for fence in re.findall(r"```[a-z]*\n(.*?)```", text, flags=re.DOTALL):
+            for line in fence.splitlines():
+                match = re.search(r"python -m repro\.staticcheck\s*(.*)", line)
+                if match:
+                    commands.append((doc, match.group(1).strip()))
+    return commands
+
+
+FENCED_STATICCHECK = _fenced_staticcheck_commands()
+
+
+def test_docs_contain_staticcheck_commands():
+    assert len(FENCED_STATICCHECK) >= 4, (
+        f"expected fenced staticcheck commands in the docs, got {FENCED_STATICCHECK}"
+    )
+
+
+@pytest.mark.parametrize(
+    "doc,command",
+    FENCED_STATICCHECK,
+    ids=[f"{d}:{c[:40]}" for d, c in FENCED_STATICCHECK],
+)
+def test_fenced_staticcheck_command_runs_clean(doc, command):
+    """The documented commands must work verbatim — and since the shipped
+    tree is clean, every one of them must exit 0."""
+    from repro.staticcheck.cli import main
+
+    command = command.split("#")[0].strip()  # drop trailing fence annotations
+    argv = [
+        os.path.join(REPO_ROOT, "src") if token == "src" else token
+        for token in command.split()
+    ]
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    assert code == 0, f"{doc}: '{command}' exited {code}:\n{stream.getvalue()[-500:]}"
+    assert stream.getvalue().strip(), f"{doc}: '{command}' printed nothing"
+
+
 def test_readme_architecture_map_matches_source_tree():
     readme = open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8").read()
     packages = sorted(

@@ -16,7 +16,6 @@ Covers:
 """
 
 import os
-import re
 
 import pytest
 
@@ -33,30 +32,25 @@ from repro.sim.node import Node
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 
-FORBIDDEN = re.compile(
-    r"^\s*(?:from\s+repro\.sim\.(?:simulator|network)\s+import|"
-    r"import\s+repro\.sim\.(?:simulator|network))",
-    re.MULTILINE,
-)
-
-#: packages that must stay sans-I/O (the runtime seam is their only backend)
-SANS_IO_PACKAGES = ("protocols", "consensus")
+#: packages that must stay sans-I/O (the runtime seam is their only backend).
+#: The ad hoc regex lint that used to live here is now the SEAM rule family
+#: in ``repro.staticcheck`` (which also bans asyncio/time/threading and
+#: covers core+adversary); this test delegates so coverage never regresses.
+SANS_IO_PACKAGES = ("protocols", "consensus", "core", "adversary")
 
 
 # ----------------------------------------------------------------- the lint
 @pytest.mark.parametrize("package", SANS_IO_PACKAGES)
 def test_no_direct_simulator_or_network_imports(package):
-    offenders = []
-    package_dir = os.path.join(SRC, "repro", package)
-    for name in sorted(os.listdir(package_dir)):
-        if not name.endswith(".py"):
-            continue
-        text = open(os.path.join(package_dir, name), encoding="utf-8").read()
-        if FORBIDDEN.search(text):
-            offenders.append(f"{package}/{name}")
-    assert not offenders, (
-        f"sans-I/O violation: {offenders} import repro.sim.simulator / "
-        "repro.sim.network directly; protocol code must talk to repro.runtime"
+    from repro.staticcheck import check_paths, select_rules
+
+    report = check_paths(
+        [os.path.join(SRC, "repro", package)], rules=select_rules(["SEAM"])
+    )
+    details = "\n".join(v.format_text() for v in report.violations)
+    assert report.exit_code == 0, (
+        f"sans-I/O violation: protocol code must talk to repro.runtime, not "
+        f"the DES engine or the OS directly:\n{details}"
     )
 
 
