@@ -14,6 +14,8 @@ Usage::
     python -m repro.bench adversary run equivocation --n 4 --duration 20
     python -m repro.bench perf --scaling --json BENCH.json
     python -m repro.bench perf --n 128 --duration 10
+    python -m repro.bench fuzz run --seeds 16 --workers 4
+    python -m repro.bench fuzz replay tests/corpus/*.json
 
 Each experiment name maps to the corresponding function in
 :mod:`repro.bench.experiments`; grid-shaped experiments (and scenario
@@ -468,6 +470,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.perf import perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.bench.fuzz_cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures via the sweep harness.",
@@ -500,6 +506,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("scenario     named-scenario engine: 'scenario list|run|sweep' (sweepable)")
         print("adversary    Byzantine attack catalog: 'adversary list|run'")
         print("perf         hot-path harness: events/s + peak RSS, '--scaling', '--profile'")
+        print("fuzz         schedule-space fuzzer: 'fuzz run|replay|shrink'")
         return 0
 
     fn = EXPERIMENTS[args.experiment]

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.fuzz.perturb import PerturbationSpec
 from repro.protocols.base import SystemConfig
 from repro.sim.faults import FaultConfig
 
@@ -41,6 +42,13 @@ class ExperimentCell:
     runtime: str = "des"
     #: realtime backend only: wall seconds per simulated second
     realtime_timescale: float = 1.0
+    #: schedule-space fuzzing: bounded delivery-order perturbation applied to
+    #: the run (DES engine only); cache-keyed like every other field
+    perturbation: Optional[PerturbationSpec] = None
+    #: opt-in historical-bug reproductions (regression corpus); cache-keyed
+    compat_flags: Tuple[str, ...] = ()
+    #: per-instance view-change timeout override; None = SystemConfig default
+    view_change_timeout: Optional[float] = None
 
     def scenario_spec(self):
         """Resolve the named scenario, or None for the legacy presets."""
@@ -83,6 +91,9 @@ class ExperimentCell:
         adversary = self.adversary_spec()
         if adversary is not None:
             faults = replace(faults, adversary=adversary)
+        extra = {}
+        if self.view_change_timeout is not None:
+            extra["view_change_timeout"] = self.view_change_timeout
         return SystemConfig(
             protocol=self.protocol,
             n=self.n,
@@ -97,6 +108,9 @@ class ExperimentCell:
             scenario=self.scenario_spec(),
             runtime=self.runtime,
             realtime_timescale=self.realtime_timescale,
+            perturbation=self.perturbation,
+            compat_flags=self.compat_flags,
+            **extra,
         )
 
     def label(self) -> str:
@@ -107,6 +121,10 @@ class ExperimentCell:
             tag += f"-rt:{self.runtime}"
         if self.adversary is not None:
             tag += f"-adv:{self.adversary}"
+        if self.perturbation is not None:
+            tag += f"-perturb:{self.perturbation.seed}"
+        if self.compat_flags:
+            tag += "-compat:" + ",".join(self.compat_flags)
         if self.scenario is not None:
             return f"{tag}-{self.scenario}"
         return f"{tag}-{self.environment}"

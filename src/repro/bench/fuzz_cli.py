@@ -1,0 +1,226 @@
+"""``python -m repro.bench fuzz``: the schedule-space fuzzer CLI.
+
+Subcommands::
+
+    fuzz run     — sweep perturbation seeds, audit every run, shrink and
+                   serialize violations (exit 1 iff a violation was found)
+    fuzz replay  — re-execute an artifact and check bit-exactness (exit 0
+                   iff the replay reproduces the pinned trace digest and
+                   audit verdict)
+    fuzz shrink  — re-minimize an existing artifact with a fresh test budget
+
+The campaign engine (:mod:`repro.fuzz.campaign`) is wall-clock-free by the
+determinism rules (DET-001); the wall-clock budget for ``fuzz run`` lives
+here, injected as a ``should_stop`` callable — the bench package is the one
+place wall clocks are allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.bench.sweep import SweepRunner
+
+
+def _budget_stopper(budget_s: Optional[float]) -> Optional[Callable[[], bool]]:
+    if budget_s is None:
+        return None
+    deadline = time.monotonic() + budget_s
+    return lambda: time.monotonic() >= deadline
+
+
+def _artifact_name(finding) -> str:
+    cell = finding.cell
+    flags = "-".join(cell.compat_flags) if cell.compat_flags else "faithful"
+    return f"fuzz-{flags}-seed{finding.seed_index}.json"
+
+
+def fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        protocol=args.protocol,
+        n=args.n,
+        duration=args.duration,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_delay=args.max_delay,
+        probability=args.probability,
+        view_change_timeout=args.view_change_timeout,
+        propose_timeout=args.propose_timeout,
+        scenario=args.scenario,
+        adversary=args.adversary,
+        compat_flags=tuple(args.compat or ()),
+    )
+    runner = SweepRunner(workers=args.workers)
+    emit = lambda message: print(f"fuzz: {message}", file=sys.stderr)
+    report = run_campaign(
+        config,
+        runner=runner,
+        should_stop=_budget_stopper(args.budget),
+        stop_on_violation=not args.keep_going,
+        do_shrink=not args.no_shrink,
+        shrink_max_tests=args.shrink_tests,
+        log=emit,
+    )
+    print(
+        f"fuzz run: {report.seeds_run}/{config.seeds} seeds, "
+        f"{len(report.findings)} violation(s)"
+        + (" [budget hit]" if report.stopped_early else "")
+    )
+    for finding in report.findings:
+        kinds = ",".join(finding.artifact["expected"]["violation_kinds"])
+        line = f"  seed {finding.seed_index}: {kinds}"
+        if finding.shrink_result is not None:
+            line += (
+                f" (shrunk to {finding.shrink_result.nonzero_decisions} "
+                f"decisions in {finding.shrink_result.tests} tests)"
+            )
+        print(line)
+        if args.artifact_dir:
+            from repro.fuzz.artifact import write_artifact
+
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            path = os.path.join(args.artifact_dir, _artifact_name(finding))
+            write_artifact(path, finding.artifact)
+            print(f"  artifact: {path}")
+    if args.json_path:
+        payload = {
+            "seeds_run": report.seeds_run,
+            "stopped_early": report.stopped_early,
+            "findings": [
+                {"seed_index": f.seed_index, "artifact": f.artifact}
+                for f in report.findings
+            ],
+            "rows": report.rows,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=repr)
+    return 1 if report.findings else 0
+
+
+def fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.artifact import read_artifact
+    from repro.fuzz.replay import replay_artifact
+
+    status = 0
+    for path in args.artifact:
+        artifact = read_artifact(path)
+        report = replay_artifact(artifact)
+        note = artifact.get("note", "")
+        print(f"{path}: {report.summary()}" + (f"  [{note}]" if note else ""))
+        if not report.ok:
+            status = 1
+    return status
+
+
+def fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz.artifact import (
+        artifact_cell,
+        make_artifact,
+        outcome_of,
+        read_artifact,
+        write_artifact,
+    )
+    from repro.fuzz.campaign import predicate_for
+    from repro.fuzz.replay import run_cell_traced
+    from repro.fuzz.shrink import shrink
+
+    artifact = read_artifact(args.artifact)
+    cell = artifact_cell(artifact)
+    # Preserve the finding's class while minimizing: a safety artifact must
+    # not shrink into a liveness-only repro.
+    predicate = predicate_for(artifact["expected"])
+    if not predicate(cell):
+        print(f"{args.artifact}: cell no longer violates; nothing to shrink")
+        return 1
+    result = shrink(cell, predicate, max_tests=args.shrink_tests)
+    print(
+        f"{args.artifact}: {result.nonzero_decisions} nonzero decisions "
+        f"after {result.tests} tests ({result.accepted} reductions)"
+    )
+    system, run_result = run_cell_traced(result.cell)
+    outcome = outcome_of(run_result, system.trace.events)
+    minimized = make_artifact(
+        result.cell, outcome, system.trace.events, note=artifact.get("note", "")
+    )
+    out_path = args.output or args.artifact
+    write_artifact(out_path, minimized)
+    print(f"wrote {out_path}")
+    return 0
+
+
+def fuzz_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench fuzz",
+        description="Schedule-space fuzzing: perturb delivery schedules, "
+        "audit every run, shrink violations to minimal replayable artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="sweep perturbation seeds and audit")
+    run_parser.add_argument("--protocol", default="ladon-pbft")
+    run_parser.add_argument("--n", type=int, default=4)
+    run_parser.add_argument("--duration", type=float, default=8.0,
+                            help="simulated seconds per run (default: 8)")
+    run_parser.add_argument("--batch-size", type=int, default=64)
+    run_parser.add_argument("--seed", type=int, default=0,
+                            help="base cell seed (workload/latency RNG)")
+    run_parser.add_argument("--seeds", type=int, default=16,
+                            help="perturbation seeds to sweep (default: 16)")
+    run_parser.add_argument("--base-seed", type=int, default=0,
+                            help="campaign seed the perturbation seeds derive from")
+    run_parser.add_argument("--max-delay", type=float, default=1.2,
+                            help="per-delivery delay bound in seconds")
+    run_parser.add_argument("--probability", type=float, default=0.08,
+                            help="fraction of deliveries perturbed")
+    run_parser.add_argument("--view-change-timeout", type=float, default=1.0)
+    run_parser.add_argument("--propose-timeout", type=float, default=2.0)
+    run_parser.add_argument("--scenario", default=None)
+    run_parser.add_argument("--adversary", default=None)
+    run_parser.add_argument("--compat", action="append", default=None,
+                            metavar="FLAG",
+                            help="enable a compat bug reproduction "
+                                 "(e.g. wedged-view-cursor); repeatable")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="sweep worker processes (default: 1)")
+    run_parser.add_argument("--budget", type=float, default=None,
+                            help="wall-clock budget in seconds (checked "
+                                 "between seed batches)")
+    run_parser.add_argument("--keep-going", action="store_true",
+                            help="continue after the first violation")
+    run_parser.add_argument("--no-shrink", action="store_true",
+                            help="serialize violations without minimizing")
+    run_parser.add_argument("--shrink-tests", type=int, default=48,
+                            help="max shrink predicate evaluations per finding")
+    run_parser.add_argument("--artifact-dir", default=None,
+                            help="write violation artifacts into this directory")
+    run_parser.add_argument("--json", dest="json_path")
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-execute artifacts and check bit-exactness"
+    )
+    replay_parser.add_argument("artifact", nargs="+",
+                               help="artifact JSON path(s), e.g. tests/corpus/*.json")
+
+    shrink_parser = sub.add_parser(
+        "shrink", help="re-minimize an existing artifact"
+    )
+    shrink_parser.add_argument("artifact", help="artifact JSON path")
+    shrink_parser.add_argument("--shrink-tests", type=int, default=96)
+    shrink_parser.add_argument("--output", default=None,
+                               help="write here instead of overwriting")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return fuzz_run(args)
+    if args.command == "replay":
+        return fuzz_replay(args)
+    return fuzz_shrink(args)

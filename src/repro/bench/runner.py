@@ -29,6 +29,11 @@ def run_cell(cell: ExperimentCell) -> RunMetrics:
                 "the analytical engine has no execution runtime; "
                 f"cell {cell.label()!r} sets runtime={cell.runtime!r}"
             )
+        if cell.perturbation is not None or cell.compat_flags:
+            raise ValueError(
+                "schedule perturbation and compat flags run only on the DES "
+                f"engine; cell {cell.label()!r} sets engine='analytical'"
+            )
         config = AnalyticalConfig(
             protocol=cell.protocol,
             n=cell.n,

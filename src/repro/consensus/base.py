@@ -27,6 +27,9 @@ class InstanceConfig:
     epoch_length: int = 64
     view_change_timeout: float = 10.0
     tx_payload_bytes: int = 500
+    #: opt-in reproductions of historical bugs, kept alive for the fuzzing
+    #: regression corpus (e.g. ``"wedged-view-cursor"``); empty = faithful.
+    compat_flags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n < 4:

@@ -1,0 +1,163 @@
+"""Delta-debugging shrinker for schedule-space violations.
+
+Given a violating decision vector (the effective per-delivery delays of a
+reproduced run) and a predicate "does this still violate?", the shrinker
+minimizes along two axes:
+
+1. **dimension reduction** — cheap structural candidates first: drop the
+   adversary, drop the scenario, halve the run duration.  Each accepted
+   reduction typically removes thousands of decisions at once.
+2. **ddmin over decisions** — classic delta debugging (Zeller's ddmin) on
+   the *nonzero* decision indices: try zeroing complements of progressively
+   finer chunks, keeping any candidate that still violates.  The result is
+   1-minimal up to chunk granularity: no single remaining chunk of the
+   final granularity can be zeroed without losing the violation.
+
+The shrinker is **monotone** (a candidate is only accepted if it still
+violates, and candidates only ever zero decisions / shrink dimensions — the
+current repro never grows) and **terminating** (ddmin's granularity doubles
+until it exceeds the live set, and ``max_tests`` bounds the total number of
+predicate evaluations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bench.config import ExperimentCell
+from repro.fuzz.perturb import PerturbationSpec
+
+#: predicate(cell) -> True when the cell still reproduces the violation
+Predicate = Callable[[ExperimentCell], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session."""
+
+    cell: ExperimentCell
+    tests: int = 0
+    accepted: int = 0
+
+    @property
+    def decisions(self) -> Tuple[float, ...]:
+        spec = self.cell.perturbation
+        return spec.decisions if spec is not None and spec.decisions else ()
+
+    @property
+    def nonzero_decisions(self) -> int:
+        return sum(1 for delta in self.decisions if delta)
+
+
+def _with_decisions(cell: ExperimentCell, decisions: Tuple[float, ...]) -> ExperimentCell:
+    spec = cell.perturbation
+    assert spec is not None
+    return replace(cell, perturbation=replace(spec, decisions=decisions))
+
+
+def _zeroed(
+    decisions: Tuple[float, ...], keep: Sequence[int]
+) -> Tuple[float, ...]:
+    """The vector with every nonzero index outside ``keep`` zeroed."""
+    keep_set = set(keep)
+    return tuple(
+        delta if (not delta or index in keep_set) else 0.0
+        for index, delta in enumerate(decisions)
+    )
+
+
+def shrink(
+    cell: ExperimentCell,
+    predicate: Predicate,
+    *,
+    max_tests: int = 200,
+    min_duration: float = 2.0,
+) -> ShrinkResult:
+    """Minimize ``cell`` (which must satisfy ``predicate``) via ddmin.
+
+    ``cell.perturbation.decisions`` must be set (decision-replay form); use
+    the ``applied`` vector of a reproduced run.  ``max_tests`` bounds
+    predicate evaluations across both shrink axes; ``min_duration`` floors
+    the duration halving.
+    """
+    spec = cell.perturbation
+    if spec is None or spec.decisions is None:
+        raise ValueError("shrink needs a cell in decision-replay form")
+    result = ShrinkResult(cell=cell)
+
+    def check(candidate: ExperimentCell) -> bool:
+        result.tests += 1
+        ok = predicate(candidate)
+        if ok:
+            result.accepted += 1
+            result.cell = candidate
+        return ok
+
+    # ---- axis 1: dimension reductions (cheap, huge wins when accepted)
+    def dimension_candidates(current: ExperimentCell) -> List[ExperimentCell]:
+        candidates: List[ExperimentCell] = []
+        if current.adversary is not None:
+            candidates.append(replace(current, adversary=None))
+        if current.scenario is not None:
+            candidates.append(replace(current, scenario=None))
+        if current.duration / 2.0 >= min_duration:
+            candidates.append(replace(current, duration=current.duration / 2.0))
+        return candidates
+
+    progress = True
+    while progress and result.tests < max_tests:
+        progress = False
+        for candidate in dimension_candidates(result.cell):
+            if result.tests >= max_tests:
+                break
+            if check(candidate):
+                progress = True
+                break  # durations can halve repeatedly: re-derive candidates
+
+    # ---- axis 2: ddmin over the nonzero decision indices
+    decisions = result.cell.perturbation.decisions or ()
+    live: List[int] = [index for index, delta in enumerate(decisions) if delta]
+    # All-zero first: if the violation survives with no perturbation at all,
+    # it is schedule-independent and the minimal repro carries no decisions.
+    if live and result.tests < max_tests:
+        if check(_with_decisions(result.cell, _zeroed(decisions, ()))):
+            live = []
+    granularity = 2
+    while len(live) >= 2 and result.tests < max_tests:
+        chunk_size = max(1, len(live) // granularity)
+        chunks: List[List[int]] = [
+            live[start : start + chunk_size]
+            for start in range(0, len(live), chunk_size)
+        ]
+        reduced = False
+        # Try each chunk alone (reduce to subset) ...
+        for chunk in chunks:
+            if len(chunk) == len(live) or result.tests >= max_tests:
+                continue
+            if check(_with_decisions(result.cell, _zeroed(decisions, chunk))):
+                live = list(chunk)
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            # ... then each complement (drop one chunk).
+            for drop_index, chunk in enumerate(chunks):
+                if len(chunks) <= 1 or result.tests >= max_tests:
+                    continue
+                complement = [
+                    index
+                    for other_index, other in enumerate(chunks)
+                    if other_index != drop_index
+                    for index in other
+                ]
+                if check(_with_decisions(result.cell, _zeroed(decisions, complement))):
+                    live = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if chunk_size <= 1:
+                break  # 1-minimal at single-decision granularity
+            granularity = min(granularity * 2, len(live))
+    return result

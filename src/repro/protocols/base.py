@@ -81,6 +81,12 @@ class SystemConfig:
     #: O(active window) in memory.  Set False to retain everything on every
     #: replica (debugging, cross-replica history inspection).
     bounded_memory: bool = True
+    #: schedule-space fuzzing: a :class:`repro.fuzz.perturb.PerturbationSpec`
+    #: applied to every message delivery (None = unperturbed schedule)
+    perturbation: Optional[Any] = None
+    #: opt-in historical-bug reproductions threaded into every instance's
+    #: :class:`~repro.consensus.base.InstanceConfig` (regression corpus)
+    compat_flags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n < 4:
@@ -284,6 +290,7 @@ class MultiBFTReplica(Node):
             epoch_length=self.config.epoch_length,
             view_change_timeout=self.config.view_change_timeout,
             tx_payload_bytes=self.config.payload_bytes,
+            compat_flags=self.config.compat_flags,
         )
         context = ReplicaInstanceContext(self, instance_id)
         return self.instance_class()(
@@ -720,6 +727,24 @@ class MultiBFTSystem:
         self.fault_injector = FaultInjector(
             self.runtime, self.replicas, self.effective_faults, network=self.runtime
         )
+        #: the armed perturbation applicator (``.applied`` holds the
+        #: effective decision vector after the run); None when unperturbed
+        self.perturbation = None
+        if config.perturbation is not None:
+            # Lazy import: the sim/protocol layers never depend on the fuzz
+            # package unless a perturbed run actually asks for it.
+            from repro.fuzz.perturb import SchedulePerturbation
+
+            set_perturbation = getattr(
+                self.runtime, "set_delivery_perturbation", None
+            )
+            if set_perturbation is None:
+                raise ValueError(
+                    f"runtime {config.runtime!r} does not support delivery "
+                    "perturbation"
+                )
+            self.perturbation = SchedulePerturbation(config.perturbation)
+            set_perturbation(self.perturbation)
 
     # ------------------------------------------------------------- factories
     def build_replica(self, replica_id: int) -> MultiBFTReplica:

@@ -56,6 +56,7 @@ class DQBFTReplica(MultiBFTReplica):
             epoch_length=self.config.epoch_length,
             view_change_timeout=self.config.view_change_timeout,
             tx_payload_bytes=64,  # ordering batches carry block references
+            compat_flags=self.config.compat_flags,
         )
         context = ReplicaInstanceContext(self, self.ordering_instance_id)
         return PBFTInstance(inst_config, context, propose_timeout=self.config.propose_timeout)

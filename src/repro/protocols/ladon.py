@@ -41,6 +41,7 @@ class LadonReplica(MultiBFTReplica):
             epoch_length=self.config.epoch_length,
             view_change_timeout=self.config.view_change_timeout,
             tx_payload_bytes=self.config.payload_bytes,
+            compat_flags=self.config.compat_flags,
         )
         context = ReplicaInstanceContext(self, instance_id)
         # Only the instance this replica leads can be driven Byzantine; the

@@ -62,6 +62,7 @@ class DESRuntime(Runtime):
         self.set_latency_scale = self.network.set_latency_scale
         self.set_drop_probability = self.network.set_drop_probability
         self.set_link_filter = self.network.set_link_filter
+        self.set_delivery_perturbation = self.network.set_delivery_perturbation
 
     @classmethod
     def wrap(cls, simulator: Simulator, network: Network) -> "DESRuntime":

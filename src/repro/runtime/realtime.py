@@ -84,6 +84,7 @@ class RealtimeRuntime(Runtime):
         self.set_latency_scale = self.network.set_latency_scale
         self.set_drop_probability = self.network.set_drop_probability
         self.set_link_filter = self.network.set_link_filter
+        self.set_delivery_perturbation = self.network.set_delivery_perturbation
         self._heap: List[Tuple[float, int, ScheduledCall]] = []
         self._seq = itertools.count()
         self._loop: Optional[asyncio.AbstractEventLoop] = None

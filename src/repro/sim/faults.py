@@ -263,6 +263,19 @@ class FaultInjector:
         #: per-replica adversary interceptors installed by :meth:`arm`
         self.interceptors: Dict[int, "AdversaryInterceptor"] = {}
 
+    def _record(self, kind: str, detail: str) -> None:
+        """Append to the timeline and, when tracing, to the schedule trace.
+
+        Fault-injector actions change the future schedule (crashes drop
+        timers, partitions drop messages), so a replayable trace must see
+        them: category ``fault`` mirrors every ``event_log`` entry.
+        """
+        now = self.runtime.now()
+        self.event_log.append((now, kind, detail))
+        trace = getattr(self.runtime, "trace", None)
+        if trace is not None and trace.enabled:
+            trace.record(now, "fault", None, kind=kind, detail=detail)
+
     def arm(self) -> None:
         """Install all configured events on the runtime timeline."""
         for spec in self.config.crashes:
@@ -297,7 +310,7 @@ class FaultInjector:
         def _crash() -> None:
             node.crash()
             self.crash_log.append((self.runtime.now(), spec.replica, "crash"))
-            self.event_log.append((self.runtime.now(), "crash", f"replica={spec.replica}"))
+            self._record("crash", f"replica={spec.replica}")
 
         self.runtime.schedule_at(spec.at, _crash, label=f"crash:{spec.replica}")
 
@@ -308,9 +321,7 @@ class FaultInjector:
             def _recover() -> None:
                 node.recover()
                 self.crash_log.append((self.runtime.now(), spec.replica, "recover"))
-                self.event_log.append(
-                    (self.runtime.now(), "recover", f"replica={spec.replica}")
-                )
+                self._record("recover", f"replica={spec.replica}")
 
             self.runtime.schedule_at(
                 spec.recover_at, _recover, label=f"recover:{spec.replica}"
@@ -322,16 +333,14 @@ class FaultInjector:
 
         def _split() -> None:
             network.set_partition(spec.groups)
-            self.event_log.append(
-                (self.runtime.now(), "partition", f"groups={spec.groups}")
-            )
+            self._record("partition", f"groups={spec.groups}")
 
         self.runtime.schedule_at(spec.at, _split, label="partition:split")
         if spec.heal_at is not None:
 
             def _heal() -> None:
                 network.heal_partition()
-                self.event_log.append((self.runtime.now(), "heal", ""))
+                self._record("heal", "")
 
             self.runtime.schedule_at(spec.heal_at, _heal, label="partition:heal")
 
@@ -340,13 +349,11 @@ class FaultInjector:
 
         def _begin() -> None:
             network.set_latency_scale(spec.factor)
-            self.event_log.append(
-                (self.runtime.now(), "degrade", f"factor={spec.factor}")
-            )
+            self._record("degrade", f"factor={spec.factor}")
 
         def _end() -> None:
             network.set_latency_scale(1.0)
-            self.event_log.append((self.runtime.now(), "degrade-end", ""))
+            self._record("degrade-end", "")
 
         self.runtime.schedule_at(spec.at, _begin, label="degrade:begin")
         self.runtime.schedule_at(spec.until, _end, label="degrade:end")
@@ -357,13 +364,11 @@ class FaultInjector:
 
         def _begin() -> None:
             network.set_drop_probability(spec.drop_probability)
-            self.event_log.append(
-                (self.runtime.now(), "loss-burst", f"p={spec.drop_probability}")
-            )
+            self._record("loss-burst", f"p={spec.drop_probability}")
 
         def _end() -> None:
             network.set_drop_probability(baseline)
-            self.event_log.append((self.runtime.now(), "loss-burst-end", ""))
+            self._record("loss-burst-end", "")
 
         self.runtime.schedule_at(spec.at, _begin, label="loss:begin")
         self.runtime.schedule_at(spec.until, _end, label="loss:end")

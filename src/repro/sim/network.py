@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.sim.events import EventQueue
 from repro.sim.latency import LatencyModel, UniformLatency
+from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.simulator import Simulator
@@ -119,6 +120,18 @@ class Network:
             getattr(simulator, "schedule_call_unchecked", None)
             or simulator.schedule_call
         )
+        # Baseline scheduling state, restored when a delivery perturbation
+        # is removed (see set_delivery_perturbation).
+        self._base_schedule_call = self._schedule_call
+        self._base_fast_queue = self._fast_queue
+        self._perturbation = None
+        # Scheduler-owned trace recorder: deliveries are recorded here when
+        # tracing is on, making the trace a full schedule witness for replay.
+        trace = getattr(simulator, "trace", None)
+        # Explicit None check: an empty TraceRecorder is falsy (__len__ == 0).
+        self._trace: TraceRecorder = (
+            trace if trace is not None else TraceRecorder(enabled=False)
+        )
 
     # --------------------------------------------------------- registration
     def register(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
@@ -136,6 +149,32 @@ class Network:
     def set_link_filter(self, predicate: Optional[Callable[[int, int], bool]]) -> None:
         """Install a predicate(sender, receiver) -> deliverable? (None = all)."""
         self._link_filter = predicate
+
+    def set_delivery_perturbation(self, perturbation) -> None:
+        """Install (None: remove) a delivery-schedule perturbation.
+
+        ``perturbation`` exposes ``perturb(arrival, sender, receiver) ->
+        float`` returning the adjusted arrival (must be ``>= arrival``, so
+        perturbed runs stay valid executions); it is applied to every
+        delivery this transport schedules, in scheduling order.  Installing
+        one disables the multicast direct-heap fast path — the general path
+        is draw-for-draw byte-identical (see :meth:`multicast`), so the
+        *zero* perturbation reproduces the unperturbed schedule exactly.
+        """
+        if perturbation is None:
+            self._perturbation = None
+            self._schedule_call = self._base_schedule_call
+            self._fast_queue = self._base_fast_queue
+            return
+        self._perturbation = perturbation
+        self._fast_queue = None
+        base_schedule = self._base_schedule_call
+        perturb = perturbation.perturb
+
+        def _schedule_perturbed(time: float, fn, sender, receiver, message) -> None:
+            base_schedule(perturb(time, sender, receiver), fn, sender, receiver, message)
+
+        self._schedule_call = _schedule_perturbed
 
     # ------------------------------------------------------ network dynamics
     def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
@@ -257,6 +296,19 @@ class Network:
             self.stats.record_drop("unregistered")
             return
         self.stats.messages_delivered += 1
+        trace = self._trace
+        if trace.enabled:
+            # Every delivery lands in the trace: together with cancellations
+            # and fault-timeline actions this makes the trace a complete
+            # schedule witness (replayable, digestable).
+            trace.record(
+                self.simulator.now(),
+                "deliver",
+                receiver,
+                sender=sender,
+                kind=message.__class__.__name__,
+                instance=getattr(message, "instance", -1),
+            )
         handler(sender, message)
 
     def multicast(self, sender: int, receivers: "list[int] | tuple[int, ...]", message: Any, size_bytes: int = 0) -> None:

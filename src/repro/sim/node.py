@@ -111,7 +111,7 @@ class Node:
             if not self.crashed:
                 callback()
 
-        event = self.runtime.schedule_after(delay, _fire)
+        event = self.runtime.schedule_after(delay, _fire, name)
         timer = Timer(name=name, event=event)
         self._timers[name] = timer
         return timer
@@ -119,7 +119,9 @@ class Node:
     def cancel_timer(self, name: str) -> None:
         timer = self._timers.pop(name, None)
         if timer is not None:
-            timer.cancel()
+            # Through the runtime (not event.cancel() directly) so the DES
+            # backend can record the cancellation in the schedule trace.
+            self.runtime.cancel(timer.event)
 
     def has_timer(self, name: str) -> bool:
         timer = self._timers.get(name)
@@ -130,7 +132,7 @@ class Node:
         """Crash the node: it stops sending, receiving, and firing timers."""
         self.crashed = True
         for timer in list(self._timers.values()):
-            timer.cancel()
+            self.runtime.cancel(timer.event)
         self._timers.clear()
 
     def recover(self) -> None:

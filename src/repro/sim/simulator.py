@@ -66,6 +66,14 @@ class Simulator:
         self.queue.push_call(time, fn, a, b, c)
 
     def cancel(self, event: Event) -> None:
+        if event.popped or event.cancelled:
+            return  # no-op cancels stay invisible (already fired/cancelled)
+        if self.trace.enabled:
+            # Effective cancellations are part of the schedule witness: a
+            # replay that cancels a different event set is a divergence.
+            self.trace.record(
+                self.clock._now, "cancel", None, label=event.label, at=event.time
+            )
         self.queue.cancel(event)
 
     def stop(self) -> None:

@@ -37,6 +37,7 @@ DES_REACHABLE_PACKAGES = SANS_IO_PACKAGES + (
     "crypto",
     "metrics",
     "runtime",
+    "fuzz",
 )
 
 #: modules exempt from the determinism rules by design (the realtime backend

@@ -1,0 +1,71 @@
+"""The fuzzer's regression corpus: every artifact must replay bit-exactly.
+
+``tests/corpus/*.json`` are minimized schedule-space violations found by
+``python -m repro.bench fuzz run`` and pinned forever: each artifact names
+an experiment cell, the decision vector that perturbs its schedule, and the
+expected outcome (audit verdict + canonical trace digest).  A replay that
+diverges means protocol or simulator behaviour changed on exactly the
+interleaving that once exposed a bug — the one interleaving we know is
+load-bearing.
+
+Artifacts carrying compat flags reproduce *historical* bugs behind opt-in
+flags; for those the faithful protocol (flags stripped) must NOT violate,
+which pins both directions: the bug stays reproducible, the fix stays fixed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.artifact import artifact_cell, is_violation, read_artifact
+from repro.fuzz.replay import replay_artifact
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACTS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _name(path):
+    return os.path.basename(path)
+
+
+def test_corpus_is_not_empty():
+    assert ARTIFACTS, f"no artifacts in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=_name)
+def test_artifact_replays_bit_exact(path):
+    artifact = read_artifact(path)
+    report = replay_artifact(artifact)
+    assert report.ok, f"{_name(path)}: {report.summary()}"
+    # A corpus artifact that stopped violating is stale, not just diverged.
+    assert is_violation(report.outcome), (
+        f"{_name(path)} replayed bit-exact but no longer violates; "
+        "regenerate or retire it"
+    )
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in ARTIFACTS if read_artifact(p)["cell"].get("compat_flags")],
+    ids=_name,
+)
+def test_fixed_protocol_does_not_reproduce_compat_artifacts(path):
+    """Negative control: same schedule, compat flags stripped, no violation.
+
+    Only the verdict is checked — stripping the flag legitimately changes
+    the schedule (the fixed protocol sends different messages), so digest
+    equality is neither expected nor meaningful here.
+    """
+    from dataclasses import replace
+
+    from repro.fuzz.artifact import outcome_of
+    from repro.fuzz.replay import run_cell_traced
+
+    cell = replace(artifact_cell(read_artifact(path)), compat_flags=())
+    system, result = run_cell_traced(cell)
+    outcome = outcome_of(result, system.trace.events)
+    assert not is_violation(outcome), (
+        f"{_name(path)}: faithful protocol still violates with the compat "
+        f"flag stripped: {outcome['violation_kinds']}"
+    )

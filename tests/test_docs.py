@@ -115,6 +115,15 @@ def test_fenced_bench_command_parses(doc, command):
                 from repro.adversary.registry import get_adversary
 
                 get_adversary(name)
+    elif head == "fuzz":
+        assert len(tokens) >= 2, f"{doc}: bare '{command}'"
+        _run_help(["fuzz", tokens[1], "--help"])
+        # Documented corpus artifacts must actually be checked in.
+        for token in tokens[2:]:
+            if token.startswith("tests/corpus/") and "*" not in token:
+                assert os.path.exists(os.path.join(REPO_ROOT, token)), (
+                    f"{doc} references missing corpus artifact {token}"
+                )
     elif head in ("run", "perf"):
         _run_help([head, "--help"])
     elif head == "list":

@@ -1,0 +1,126 @@
+"""Unit tests for the ddmin shrinker, driven by synthetic predicates.
+
+Synthetic predicates make the shrinker's contract checkable without
+simulation runs: a predicate inspects the candidate cell's decision vector
+(and dimensions) directly, so each test pins one guarantee — the exact
+failure core is found, the repro never grows, the test budget is honored,
+and dimension reductions compose with decision minimization.
+"""
+
+import pytest
+
+from repro.bench.config import ExperimentCell
+from repro.fuzz.perturb import PerturbationSpec
+from repro.fuzz.shrink import shrink
+
+
+def _cell(decisions, **overrides):
+    base = dict(
+        protocol="ladon-pbft", n=4, duration=8.0, environment="wan",
+        batch_size=64, seed=0,
+        perturbation=PerturbationSpec(
+            max_delay=1.0, probability=0.1, seed=0, decisions=tuple(decisions)
+        ),
+    )
+    base.update(overrides)
+    return ExperimentCell(**base)
+
+
+def _nonzero(cell):
+    return {i for i, d in enumerate(cell.perturbation.decisions) if d}
+
+
+def _requires(core):
+    """Predicate: violates iff every index in ``core`` is still nonzero."""
+    return lambda cell: core <= _nonzero(cell)
+
+
+def test_finds_the_exact_failure_core():
+    decisions = [0.5 if i % 3 == 0 else 0.0 for i in range(120)]
+    decisions[7] = 0.25
+    core = {7, 42}
+    result = shrink(_cell(decisions), _requires(core), max_tests=200)
+    assert _nonzero(result.cell) == core
+    # Minimization zeroes decisions; it never invents or rescales them.
+    assert result.cell.perturbation.decisions[7] == 0.25
+    assert result.cell.perturbation.decisions[42] == 0.5
+
+
+def test_schedule_independent_violation_shrinks_to_no_decisions():
+    decisions = [0.3] * 50
+    result = shrink(_cell(decisions), lambda cell: True, max_tests=200)
+    assert not _nonzero(result.cell)
+    # Also picked up the duration halvings all the way to the floor.
+    assert result.cell.duration == 2.0
+
+
+def test_need_all_decisions_shrinks_nothing():
+    decisions = [0.3] * 50
+    all_indices = set(range(50))
+    result = shrink(
+        _cell(decisions, duration=2.0), _requires(all_indices), max_tests=200
+    )
+    assert _nonzero(result.cell) == all_indices
+
+
+def test_monotone_every_accepted_candidate_violates_and_never_grows():
+    decisions = [0.5 if i % 4 == 0 else 0.0 for i in range(80)]
+    core = {0, 36}
+    sizes = []
+    inner = _requires(core)
+
+    def watched(cell):
+        ok = inner(cell)
+        if ok:
+            sizes.append(len(_nonzero(cell)))
+        return ok
+
+    result = shrink(_cell(decisions), watched, max_tests=200)
+    assert _nonzero(result.cell) == core
+    # Accepted repros shrink monotonically: the current repro never grows.
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_max_tests_bounds_predicate_evaluations():
+    decisions = [0.3] * 200
+    calls = []
+
+    def counting(cell):
+        calls.append(1)
+        return _requires(set(range(200)))(cell)
+
+    result = shrink(_cell(decisions, duration=2.0), counting, max_tests=9)
+    assert result.tests == len(calls) == 9
+    # Budget exhausted before 1-minimality: the repro is still valid, just
+    # not fully minimized.
+    assert _requires(set(range(200)))(result.cell)
+
+
+def test_dimension_reductions_drop_adversary_and_scenario():
+    decisions = [0.4, 0.0, 0.4]
+    cell = _cell(decisions, scenario="churn", adversary=None, duration=4.0)
+    result = shrink(cell, _requires({0}), max_tests=100)
+    assert result.cell.scenario is None
+    assert result.cell.duration == 2.0
+    assert _nonzero(result.cell) == {0}
+
+
+def test_duration_halving_respects_the_floor():
+    result = shrink(
+        _cell([0.4], duration=8.0), _requires({0}),
+        max_tests=100, min_duration=3.0,
+    )
+    assert result.cell.duration == 4.0  # 4/2 = 2 < 3 would cross the floor
+
+
+def test_shrink_requires_decision_replay_form():
+    cell = _cell([0.1])
+    bare = ExperimentCell(
+        protocol="ladon-pbft", n=4, duration=8.0, environment="wan",
+        batch_size=64, seed=0,
+        perturbation=PerturbationSpec(max_delay=1.0, probability=0.1, seed=0),
+    )
+    with pytest.raises(ValueError):
+        shrink(bare, lambda c: True)
+    # Sanity: the decision-replay form itself is accepted.
+    shrink(cell, lambda c: True, max_tests=5)
