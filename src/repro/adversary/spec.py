@@ -114,6 +114,8 @@ class AdversarySpec:
         runtime: "Runtime",
         nodes: Dict[int, object],
         event_log: Optional[List[Tuple[float, str, str]]] = None,
+        n: Optional[int] = None,
+        local_only: bool = False,
     ) -> Dict[int, AdversaryInterceptor]:
         """Install interceptors on the adversarial nodes and arm windows.
 
@@ -121,14 +123,22 @@ class AdversarySpec:
         manipulation needs no interceptor (it is lowered into the straggler
         configuration); every other attack gets activation/deactivation
         events on the runtime timeline, logged into ``event_log``.
+
+        ``nodes`` may be one shard's slice of the deployment
+        (``local_only=True``): conspirators hosted elsewhere are skipped —
+        their own shard corrupts them — and ``n`` must then carry the full
+        deployment size for the interceptors' quorum math.
         """
-        n = len(nodes)
+        if n is None:
+            n = len(nodes)
         self.validate_for(n)
         conspirators = self.replicas()
         interceptors: Dict[int, AdversaryInterceptor] = {}
         for replica in sorted(self.replicas()):
             node = nodes.get(replica)
             if node is None:
+                if local_only:
+                    continue
                 raise KeyError(f"cannot corrupt unknown replica {replica}")
             interceptor = AdversaryInterceptor(
                 replica_id=replica, runtime=runtime, n=n, conspirators=conspirators
@@ -151,7 +161,13 @@ class AdversarySpec:
         attack: Attack,
         log: List[Tuple[float, str, str]],
     ) -> None:
-        targets = [interceptors[replica] for replica in attack.replicas]
+        targets = [
+            interceptors[replica]
+            for replica in attack.replicas
+            if replica in interceptors
+        ]
+        if not targets:
+            return  # no local conspirator on this shard; nothing to arm
 
         def _on() -> None:
             for interceptor in targets:

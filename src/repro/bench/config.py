@@ -38,10 +38,15 @@ class ExperimentCell:
     #: of whatever the scenario configures; cache-keyed like ``scenario``
     adversary: Optional[str] = None
     #: execution backend for the DES engine's system: "des" (virtual time,
-    #: the default) or "realtime" (asyncio wall clock); cache-keyed
+    #: the default), "realtime" (asyncio wall clock), or "sharded"
+    #: (conservative-parallel DES across worker processes); cache-keyed
     runtime: str = "des"
     #: realtime backend only: wall seconds per simulated second
     realtime_timescale: float = 1.0
+    #: sharded backend only: number of DES worker processes; cache-keyed
+    shards: int = 1
+    #: sharded backend only: replica placement ("affine" or "hash")
+    shard_strategy: str = "affine"
     #: schedule-space fuzzing: bounded delivery-order perturbation applied to
     #: the run (DES engine only); cache-keyed like every other field
     perturbation: Optional[PerturbationSpec] = None
@@ -108,6 +113,8 @@ class ExperimentCell:
             scenario=self.scenario_spec(),
             runtime=self.runtime,
             realtime_timescale=self.realtime_timescale,
+            shards=self.shards,
+            shard_strategy=self.shard_strategy,
             perturbation=self.perturbation,
             compat_flags=self.compat_flags,
             **extra,
@@ -119,6 +126,8 @@ class ExperimentCell:
             tag += "-byz"
         if self.runtime != "des":
             tag += f"-rt:{self.runtime}"
+        if self.shards != 1:
+            tag += f"x{self.shards}"
         if self.adversary is not None:
             tag += f"-adv:{self.adversary}"
         if self.perturbation is not None:

@@ -6,16 +6,23 @@ axes the protocol-layer hot path is engineered for (see EXPERIMENTS.md
 "Performance").  Modes:
 
 * default — one cell (``--n``, 10 simulated seconds by default);
-* ``--scaling`` — the scale-out curve over n ∈ {8, 16, 32, 64, 128}, one
-  **subprocess per cell** so each row's peak RSS is that cell's own
-  high-water mark rather than the running maximum of earlier cells;
+* ``--scaling`` — the scale-out curve over n ∈ {8, 16, 32, 64, 128}
+  (extended to 256 and 512 when sharded), one **subprocess per cell** so
+  each row's peak RSS is that cell's own high-water mark rather than the
+  running maximum of earlier cells;
+* ``--n-list`` — an explicit comma-separated ladder instead of the canon;
+* ``--shards K`` — run on the conservative-parallel sharded DES backend
+  with K worker processes (K >= 2);
 * ``--profile`` — attach cProfile and print the top-25 functions by
   internal time (single-cell mode only; the profiler slows the run, so the
   events/s of a profiled run is reported but not comparable).
 
 Peak RSS is read from ``resource.getrusage`` (ru_maxrss is in KiB on
 Linux), a *process* high-water mark — which is why the scaling sweep
-forks per cell.
+forks per cell.  Sharded cells instead sum the workers' self-reported
+peaks plus the hub's own (``ShardedDESRuntime.total_peak_rss_bytes``):
+``getrusage(RUSAGE_CHILDREN)`` reports the max over *terminated* children,
+not their sum, so it would under-count an N-worker fleet N-fold.
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ from repro.bench.config import ExperimentCell
 
 #: the canonical scale-out ladder
 SCALING_NS = (8, 16, 32, 64, 128)
+
+#: the extended ladder the sharded backend unlocks (single-process n=512
+#: holds n*m = 262k instance state machines in one heap — the sharded
+#: runtime splits that across workers)
+SCALING_NS_SHARDED = (8, 16, 32, 64, 128, 256, 512)
 
 
 def peak_rss_bytes() -> int:
@@ -58,6 +70,7 @@ def run_cell(
     environment: str = "wan",
     seed: int = 0,
     profile: bool = False,
+    shards: int = 1,
 ) -> dict:
     """Run one saturated cell; return events/s, wall time, and peak RSS."""
     from repro.protocols.registry import build_system
@@ -69,6 +82,8 @@ def run_cell(
         duration=duration,
         batch_size=batch_size,
         seed=seed,
+        runtime="sharded" if shards > 1 else "des",
+        shards=shards,
     )
     system = build_system(cell.to_system_config())
     rss_before = peak_rss_bytes()
@@ -90,20 +105,29 @@ def run_cell(
         pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(25)
         print(buf.getvalue())
     events = system.runtime.events_processed
-    return {
+    # Sharded runs: the work (and the memory) lives in the worker
+    # processes, so RUSAGE_SELF on the hub alone would be a lie — sum the
+    # workers' self-reported peaks plus the hub's own.
+    total_rss = getattr(system.runtime, "total_peak_rss_bytes", peak_rss_bytes)()
+    row = {
         "cell": cell.label(),
         "n": n,
         "duration_simulated_s": duration,
         "events": events,
         "wall_seconds": round(elapsed, 3),
         "events_per_sec": round(events / elapsed),
-        "peak_rss_mb": round(peak_rss_bytes() / 1e6, 1),
+        "peak_rss_mb": round(total_rss / 1e6, 1),
         "rss_before_mb": round(rss_before / 1e6, 1),
         "confirmed_blocks": len(result.confirmed),
         "throughput_tps": result.metrics.throughput_tps,
         "audit_safe": bool(result.audit and result.audit.safety_ok),
         "profiled": profile,
     }
+    if shards > 1:
+        row["shards"] = shards
+        row["sync_rounds"] = result.metrics.extra.get("sync_rounds")
+        row["lookahead_ms"] = result.metrics.extra.get("lookahead_ms")
+    return row
 
 
 def run_cell_subprocess(**kwargs) -> dict:
@@ -146,7 +170,14 @@ def perf_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--environment", choices=["wan", "lan"], default="wan")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scaling", action="store_true",
-                        help=f"sweep n over {list(SCALING_NS)} instead of one cell")
+                        help=f"sweep n over {list(SCALING_NS)} instead of one cell "
+                             f"({list(SCALING_NS_SHARDED)} with --shards)")
+    parser.add_argument("--n-list", dest="n_list",
+                        help="comma-separated n ladder for --scaling "
+                             "(e.g. 64,128,256), replacing the canon")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run on the sharded DES backend with this many "
+                             "worker processes (>= 2); default: single-process")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the run and print the top-25 functions "
                              "(single-cell mode)")
@@ -156,10 +187,23 @@ def perf_main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.scaling and args.profile:
         parser.error("--profile applies to a single cell, not --scaling")
+    if args.shards < 1:
+        parser.error("--shards must be >= 2 (or omitted for single-process)")
+    if args.shards > 1 and args.profile:
+        parser.error("--profile profiles the hub only; not meaningful with --shards")
+    if args.n_list and not args.scaling:
+        parser.error("--n-list only applies to --scaling")
 
     rows: List[dict] = []
     if args.scaling:
-        for n in SCALING_NS:
+        if args.n_list:
+            try:
+                ladder = tuple(int(part) for part in args.n_list.split(","))
+            except ValueError:
+                parser.error(f"--n-list must be comma-separated ints, got {args.n_list!r}")
+        else:
+            ladder = SCALING_NS_SHARDED if args.shards > 1 else SCALING_NS
+        for n in ladder:
             row = run_cell_subprocess(
                 protocol=args.protocol,
                 n=n,
@@ -167,6 +211,7 @@ def perf_main(argv: Optional[Sequence[str]] = None) -> int:
                 batch_size=args.batch_size,
                 environment=args.environment,
                 seed=args.seed,
+                shards=args.shards,
             )
             rows.append(row)
             _print_row(row)
@@ -179,6 +224,7 @@ def perf_main(argv: Optional[Sequence[str]] = None) -> int:
             environment=args.environment,
             seed=args.seed,
             profile=args.profile,
+            shards=args.shards,
         )
         rows.append(row)
         _print_row(row)

@@ -85,6 +85,19 @@ class ResourceModel:
             self._per_replica[replica] = ResourceUsage()
         return self._per_replica[replica]
 
+    def per_replica(self) -> Dict[int, ResourceUsage]:
+        """The live per-replica usage records (callers must not mutate)."""
+        return self._per_replica
+
+    def absorb(self, records: Dict[int, ResourceUsage]) -> None:
+        """Adopt usage records collected elsewhere (sharded-runtime merge).
+
+        Insertion order is aggregation order (the float sums in Table 1
+        iterate it), so callers pass records already in the order they want —
+        the sharded merge uses ascending replica id.
+        """
+        self._per_replica.update(records)
+
     def cost_table(self) -> Dict[str, float]:
         """The op -> CPU-seconds mapping (hot-path callers index it directly)."""
         return self._costs

@@ -16,7 +16,7 @@ all clock, timer, and transport access goes through the runtime seam.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, TYPE_CHECKING
 
 from repro.consensus.base import InstanceConfig, InstanceContext
 from repro.consensus.checkpoint import CheckpointManager
@@ -70,11 +70,18 @@ class SystemConfig:
     #: declarative scenario (topology + dynamics + traffic); None = the
     #: legacy ``environment`` preset path, which stays byte-identical
     scenario: Optional["ScenarioSpec"] = None
-    #: execution backend: "des" (virtual time) or "realtime" (wall clock)
+    #: execution backend: "des" (virtual time), "realtime" (wall clock), or
+    #: "sharded" (conservative-parallel DES across worker processes)
     runtime: str = "des"
     #: realtime backend only: wall seconds per simulated second (0.1 runs a
     #: 10 s scenario in ~1 s of wall time); ignored by the DES backend
     realtime_timescale: float = 1.0
+    #: sharded backend only: number of conservative-parallel DES workers
+    shards: int = 1
+    #: sharded backend only: replica -> shard placement ("affine" keeps
+    #: regions whole so the lookahead is the WAN floor; "hash" ignores
+    #: topology; see :mod:`repro.shard.partition`)
+    shard_strategy: str = "affine"
     #: bounded-memory mode (default): every replica except the observing one
     #: keeps only compact commit/confirmation fingerprints (enough for the
     #: safety auditor) instead of full Block histories, so long runs are
@@ -99,6 +106,27 @@ class SystemConfig:
             raise ValueError(f"runtime must be one of {RUNTIME_KINDS}")
         if self.realtime_timescale <= 0:
             raise ValueError("realtime_timescale must be positive")
+        if self.shard_strategy not in ("affine", "hash"):
+            raise ValueError("shard_strategy must be 'affine' or 'hash'")
+        if self.runtime == "sharded":
+            if self.shards < 2:
+                raise ValueError("the sharded runtime needs shards >= 2")
+            if self.shards > self.n:
+                raise ValueError(
+                    f"cannot spread n={self.n} replicas across {self.shards} shards"
+                )
+            if self.trace:
+                raise ValueError(
+                    "trace capture is single-process only; the sharded runtime "
+                    "has no global event order to record"
+                )
+            if self.perturbation is not None:
+                raise ValueError(
+                    "schedule perturbation is single-process only; run perturbed "
+                    "schedules on runtime='des'"
+                )
+        elif self.shards != 1:
+            raise ValueError("shards > 1 requires runtime='sharded'")
 
     @property
     def m(self) -> int:
@@ -693,7 +721,23 @@ class MultiBFTSystem:
 
     replica_class: Type[MultiBFTReplica] = MultiBFTReplica
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        runtime: Optional[Runtime] = None,
+        local_replicas: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Build the deployment.
+
+        The keyword-only parameters exist for the sharded backend's worker
+        processes: ``runtime`` injects a pre-built
+        :class:`~repro.runtime.sharded.ShardWorkerRuntime` and
+        ``local_replicas`` restricts construction to the shard's slice of
+        the replica set (fault/adversary arming then skips non-local
+        replicas instead of failing).  Default single-process behaviour is
+        unchanged.
+        """
         effective_faults = config.effective_faults()
         if effective_faults is not config.faults:
             # Replicas read straggler/byzantine behaviour straight from
@@ -702,15 +746,25 @@ class MultiBFTSystem:
             # one declared on the config.
             config = replace(config, faults=effective_faults)
         self.config = config
-        self.trace = TraceRecorder(enabled=config.trace)
-        self.runtime: Runtime = build_runtime(
-            config.runtime,
-            seed=config.seed,
-            latency=config.latency_model(),
-            network_config=config.network_config(),
-            trace=self.trace,
-            time_scale=config.realtime_timescale,
-        )
+        if runtime is None:
+            if config.runtime == "sharded":
+                raise ValueError(
+                    "a sharded system cannot be built directly on one "
+                    "process; build it via "
+                    "repro.protocols.registry.build_system(config)"
+                )
+            self.trace = TraceRecorder(enabled=config.trace)
+            self.runtime: Runtime = build_runtime(
+                config.runtime,
+                seed=config.seed,
+                latency=config.latency_model(),
+                network_config=config.network_config(),
+                trace=self.trace,
+                time_scale=config.realtime_timescale,
+            )
+        else:
+            self.runtime = runtime
+            self.trace = runtime.trace
         self.resources = ResourceModel()
         self.effective_faults = effective_faults
         self.traffic_stream = config.build_traffic_stream()
@@ -718,14 +772,23 @@ class MultiBFTSystem:
         # the replicas exist; in bounded-memory mode every *other* replica
         # keeps compact histories only (see SystemConfig.bounded_memory).
         self._observer_id = self.observer_id()
+        self._local_only = local_replicas is not None
+        replica_ids = (
+            range(config.n) if local_replicas is None else sorted(local_replicas)
+        )
         self.replicas: Dict[int, MultiBFTReplica] = {}
-        for replica_id in range(config.n):
+        for replica_id in replica_ids:
             replica = self.build_replica(replica_id)
             if self.traffic_stream is not None:
                 replica.traffic_stream = self.traffic_stream
             self.replicas[replica_id] = replica
         self.fault_injector = FaultInjector(
-            self.runtime, self.replicas, self.effective_faults, network=self.runtime
+            self.runtime,
+            self.replicas,
+            self.effective_faults,
+            network=self.runtime,
+            local_only=self._local_only,
+            total_nodes=config.n,
         )
         #: the armed perturbation applicator (``.applied`` holds the
         #: effective decision vector after the run); None when unperturbed
@@ -775,10 +838,19 @@ class MultiBFTSystem:
                 return replica_id
         return 0
 
-    def run(self) -> SystemResult:
+    def start(self) -> None:
+        """Arm faults and start every (local) replica — without running.
+
+        The sharded backend's workers call this once at build time; the
+        hub's barrier protocol then drives the runtime in windows instead
+        of one :meth:`run` call.
+        """
         self.fault_injector.arm()
         for replica in self.replicas.values():
             replica.start()
+
+    def run(self) -> SystemResult:
+        self.start()
         self.runtime.run(until=self.config.duration)
         return self.collect_result()
 

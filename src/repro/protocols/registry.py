@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from types import MappingProxyType
 from typing import List, Mapping, Type
 
@@ -49,8 +50,28 @@ def resolve_protocol(name: str) -> str:
     return canonical
 
 
-def build_system(config: SystemConfig) -> MultiBFTSystem:
-    """Build the Multi-BFT system named by ``config.protocol``."""
+def system_class(name: str) -> Type[MultiBFTSystem]:
+    """The system class for a canonical protocol name (no aliases).
+
+    Shard workers use this to construct their partial systems directly —
+    going through :func:`build_system` would recurse into the sharded
+    dispatch below.
+    """
+    return _REGISTRY[name]
+
+
+def build_system(config: SystemConfig):
+    """Build the Multi-BFT system named by ``config.protocol``.
+
+    ``runtime='sharded'`` returns a
+    :class:`~repro.runtime.sharded.ShardedSystem` — the hub-side facade with
+    the same ``run() -> SystemResult`` surface — instead of a single-process
+    :class:`MultiBFTSystem`.
+    """
     canonical = resolve_protocol(config.protocol)
-    system_class = _REGISTRY[canonical]
-    return system_class(config)
+    if config.runtime == "sharded":
+        # Lazy import: single-process runs never touch multiprocessing.
+        from repro.runtime.sharded import ShardedSystem
+
+        return ShardedSystem(replace(config, protocol=canonical))
+    return _REGISTRY[canonical](config)

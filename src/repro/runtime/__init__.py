@@ -9,6 +9,7 @@ backend    class                                        time
 ========== ============================================ ====================
 ``des``    :class:`~repro.runtime.des.DESRuntime`       virtual (simulated)
 ``realtime`` :class:`~repro.runtime.realtime.RealtimeRuntime` wall clock
+``sharded`` :class:`~repro.runtime.sharded.ShardedDESRuntime` virtual, parallel
 ========== ============================================ ====================
 
 Use :func:`build_runtime` to construct a backend by name.
@@ -16,7 +17,7 @@ Use :func:`build_runtime` to construct a backend by name.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.runtime.base import Runtime, RUNTIME_KINDS
 from repro.runtime.des import DESRuntime
@@ -43,11 +44,15 @@ def build_runtime(
     network_config: Optional[NetworkConfig] = None,
     trace: Optional[TraceRecorder] = None,
     time_scale: float = 1.0,
+    system_config: Optional[Any] = None,
 ) -> Runtime:
     """Construct the execution backend named ``kind``.
 
     ``time_scale`` only applies to the realtime backend (wall seconds per
     virtual second; e.g. ``0.1`` runs a 10 s scenario in ~1 s of wall time).
+    ``system_config`` is required by (and only by) the sharded backend: the
+    hub partitions replicas and derives its lookahead from the full
+    :class:`~repro.protocols.base.SystemConfig`, not just a latency model.
     """
     if kind == "des":
         return DESRuntime(seed=seed, latency=latency, config=network_config, trace=trace)
@@ -59,4 +64,14 @@ def build_runtime(
             trace=trace,
             time_scale=time_scale,
         )
+    if kind == "sharded":
+        if system_config is None:
+            raise ValueError(
+                "the sharded runtime is system-scoped: pass "
+                "system_config=<SystemConfig> (or build the whole system via "
+                "repro.protocols.registry.build_system)"
+            )
+        from repro.runtime.sharded import ShardedDESRuntime
+
+        return ShardedDESRuntime(system_config)
     raise ValueError(f"unknown runtime {kind!r}; expected one of {RUNTIME_KINDS}")

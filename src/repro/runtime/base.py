@@ -11,7 +11,10 @@ concrete backend, so the same replica state machines run unchanged on:
   (virtual time, deterministic, fast);
 * :class:`~repro.runtime.realtime.RealtimeRuntime` — an asyncio wall-clock
   backend (real sleeps, in-process queues, optional artificial latency);
-* future backends (sockets, multi-process) implementing the same surface.
+* :class:`~repro.runtime.sharded.ShardedDESRuntime` — conservative-parallel
+  DES across worker processes; protocol code runs inside the workers on
+  per-shard :class:`~repro.runtime.sharded.ShardWorkerRuntime` instances;
+* future backends (sockets, distributed) implementing the same surface.
 
 The interface is deliberately small and callback-shaped — *sans-I/O*: the
 protocol layer produces and consumes messages/timers and never blocks, so a
@@ -31,7 +34,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from repro.sim.trace import TraceRecorder
 
 #: the selectable execution backends (``SystemConfig.runtime`` values)
-RUNTIME_KINDS = ("des", "realtime")
+RUNTIME_KINDS = ("des", "realtime", "sharded")
 
 
 class Runtime:

@@ -1,0 +1,218 @@
+"""The shard worker: one process, one DES engine, one slice of the replicas.
+
+Each worker builds the *same* :class:`~repro.protocols.base.SystemConfig`
+the hub holds, but constructs only its shard's replicas on a
+:class:`~repro.shard.transport.ShardNetwork`, then obeys the hub's barrier
+protocol over a duplex pipe.  All frames are binary
+(``send_bytes``/``recv_bytes`` with payloads encoded by
+:mod:`repro.shard.ipc`); the control vocabulary is:
+
+========== ======================================================== =========
+frame      payload                                                  direction
+========== ======================================================== =========
+``run``    ``(target, inclusive, in_frames)`` — deliver the routed  hub->wkr
+           cross-shard frames, then run the window up to ``target``
+           (exclusive unless ``inclusive``, which only the final
+           window and its drain rounds use)
+``flush``  ``(out_frames, min_outgoing, next_event, events)`` —     wkr->hub
+           the window's outbox frames per destination shard, the
+           earliest outgoing arrival, the local heap head, and the
+           cumulative event count
+``collect`` request the :class:`ShardResult`                        hub->wkr
+``result`` the pickled :class:`ShardResult`                         wkr->hub
+``stop``   exit the worker loop                                     hub->wkr
+``error``  a formatted traceback (any phase)                        wkr->hub
+========== ======================================================== =========
+
+The worker never reads the wall clock and draws randomness only from its
+seeded simulator (seed derived per shard by
+:func:`repro.shard.ipc.derive_shard_seed`), so a (seed, shard count) pair
+reproduces bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import resource
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.shard.ipc import decode_batch, decode_frame, derive_shard_seed, encode_frame
+from repro.shard.partition import ShardPlan
+from repro.shard.transport import ShardNetwork
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class ObserverBundle:
+    """The observer replica's full metrics state (one shard carries it)."""
+
+    collector: Any  # MetricsCollector
+    confirmed: Tuple[Any, ...]  # Tuple[ConfirmedBlock, ...]
+    epoch_log: List[Tuple[float, int]]
+
+
+@dataclass
+class ShardResult:
+    """Everything the hub needs from one finished worker."""
+
+    shard_id: int
+    events_processed: int
+    peak_rss_bytes: int
+    net_stats: Any  # NetworkStats
+    resources: Dict[int, Any]  # replica -> ResourceUsage
+    commit_logs: Dict[int, Dict[int, List[Tuple[int, str, float]]]]
+    confirmed_fps: Dict[int, List[Tuple[int, int, int, int, str]]]
+    view_change_log: List[Tuple[float, int, int]]
+    crash_log: List[Tuple[float, int, str]]
+    event_log: List[Tuple[float, str, str]]
+    adversary_stats: Optional[Dict[str, int]]
+    observer: Optional[ObserverBundle]
+    #: observed lookahead-safety margin: min(arrival - horizon) over every
+    #: remote delivery this shard accepted (inf if none arrived)
+    min_margin: float = _INFINITY
+    windows: int = 0
+
+
+def _worker_peak_rss_bytes() -> int:
+    """This worker's own peak RSS in bytes (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return rss
+    return rss * 1024
+
+
+def _build_system(config, plan: ShardPlan, shard_id: int):
+    """Construct this shard's partial system on a ShardWorkerRuntime."""
+    from repro.protocols.registry import resolve_protocol, system_class
+    from repro.runtime.sharded import ShardWorkerRuntime
+
+    runtime = ShardWorkerRuntime(
+        seed=derive_shard_seed(config.seed, shard_id),
+        latency=config.latency_model(),
+        config=config.network_config(),
+        plan=plan,
+        shard_id=shard_id,
+    )
+    cls = system_class(resolve_protocol(config.protocol))
+    system = cls(config, runtime=runtime, local_replicas=plan.members(shard_id))
+    return system, runtime
+
+
+def collect_shard_result(
+    system, network: ShardNetwork, shard_id: int, windows: int
+) -> ShardResult:
+    """Gather the worker-side state the hub merges into a SystemResult."""
+    commit_logs: Dict[int, Dict[int, List[Tuple[int, str, float]]]] = {}
+    confirmed_fps: Dict[int, List[Tuple[int, int, int, int, str]]] = {}
+    view_changes: List[Tuple[float, int, int]] = []
+    for replica_id in sorted(system.replicas):
+        replica = system.replicas[replica_id]
+        by_instance: Dict[int, List[Tuple[int, str, float]]] = {}
+        for instance_id, instance in replica.instances.items():
+            log = getattr(instance, "commit_log", None)
+            if log is None:
+                log = [
+                    (block.round, block.payload_digest, block.committed_at or 0.0)
+                    for block in getattr(instance, "delivered_blocks", ())
+                ]
+            by_instance[instance_id] = list(log)
+        commit_logs[replica_id] = by_instance
+        confirmed_fps[replica_id] = replica.orderer.confirmed_fingerprints()
+        view_changes.extend(replica.view_change_log)
+
+    observer: Optional[ObserverBundle] = None
+    observer_id = system._observer_id
+    if observer_id in system.replicas:
+        obs = system.replicas[observer_id]
+        observer = ObserverBundle(
+            collector=obs.metrics,
+            confirmed=obs.orderer.confirmed,
+            epoch_log=(
+                list(obs.pacemaker.advancement_log)
+                if obs.pacemaker is not None
+                else []
+            ),
+        )
+
+    injector = system.fault_injector
+    return ShardResult(
+        shard_id=shard_id,
+        events_processed=system.runtime.events_processed,
+        peak_rss_bytes=_worker_peak_rss_bytes(),
+        net_stats=network.stats,
+        resources=dict(system.resources.per_replica()),
+        commit_logs=commit_logs,
+        confirmed_fps=confirmed_fps,
+        view_change_log=view_changes,
+        crash_log=list(injector.crash_log),
+        event_log=list(injector.event_log),
+        adversary_stats=(
+            injector.adversary_stats() if injector.interceptors else None
+        ),
+        observer=observer,
+        min_margin=network.min_margin,
+        windows=windows,
+    )
+
+
+def worker_entry(conn, config, plan: ShardPlan, shard_id: int) -> None:
+    """Process entry point: build the shard, then serve the barrier loop."""
+    try:
+        system, runtime = _build_system(config, plan, shard_id)
+        network: ShardNetwork = runtime.network
+        simulator = runtime.simulator
+        system.start()
+        windows = 0
+        while True:
+            frame = decode_frame(conn.recv_bytes())
+            kind = frame[0]
+            if kind == "run":
+                _, target, inclusive, in_frames = frame
+                if in_frames:
+                    entries: List[Any] = []
+                    for data in in_frames:
+                        entries.extend(decode_batch(data))
+                    # Stable sort on arrival over the deterministic
+                    # source-shard concatenation order -> reproducible
+                    # sequence numbers for equal timestamps.
+                    entries.sort(key=_arrival)
+                    network.enqueue_remote(entries)
+                until = target if inclusive else math.nextafter(target, 0.0)
+                simulator.run(until=until)
+                network.set_horizon(target)
+                out_frames, min_outgoing = network.drain_outboxes()
+                heap = simulator.queue._heap
+                next_event = heap[0][0] if heap else _INFINITY
+                windows += 1
+                conn.send_bytes(
+                    encode_frame(
+                        (
+                            "flush",
+                            out_frames,
+                            min_outgoing,
+                            next_event,
+                            simulator.events_processed,
+                        )
+                    )
+                )
+            elif kind == "collect":
+                result = collect_shard_result(system, network, shard_id, windows)
+                conn.send_bytes(encode_frame(("result", result)))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise ValueError(f"unknown hub frame {kind!r}")
+    except Exception:  # pragma: no cover - exercised via hub error handling
+        try:
+            conn.send_bytes(encode_frame(("error", traceback.format_exc())))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+
+
+def _arrival(entry: Tuple[float, int, int, Any]) -> float:
+    return entry[0]

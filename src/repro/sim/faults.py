@@ -248,16 +248,28 @@ class FaultInjector:
         nodes: Dict[int, "object"],
         config: FaultConfig,
         network: "Optional[Network | Runtime]" = None,
+        *,
+        local_only: bool = False,
+        total_nodes: Optional[int] = None,
     ) -> None:
         # ``runtime`` needs the scheduling surface (schedule_at / now);
         # ``network`` needs the dynamics surface (set_partition /
         # heal_partition / set_latency_scale / set_drop_probability /
         # drop_probability).  A Runtime provides both, so systems pass the
         # runtime twice; sim-layer tests still pass a bare Network.
+        #
+        # ``local_only`` marks a sharded worker's partial view: ``nodes``
+        # holds one shard's replicas, so node-scoped specs (crashes,
+        # adversary corruption) naming non-local replicas are skipped
+        # instead of rejected — the shard that hosts them arms them.
+        # ``total_nodes`` then supplies the deployment's full n (interceptor
+        # quorum math must not see the shard size).
         self.runtime = runtime
         self.nodes = nodes
         self.config = config
         self.network = network
+        self.local_only = local_only
+        self.total_nodes = total_nodes
         self.crash_log: List[Tuple[float, int, str]] = []
         self.event_log: List[Tuple[float, str, str]] = []
         #: per-replica adversary interceptors installed by :meth:`arm`
@@ -290,7 +302,11 @@ class FaultInjector:
             self._arm_loss_burst(burst)
         if self.config.adversary is not None:
             self.interceptors = self.config.adversary.install(
-                self.runtime, self.nodes, event_log=self.event_log
+                self.runtime,
+                self.nodes,
+                event_log=self.event_log,
+                n=self.total_nodes,
+                local_only=self.local_only,
             )
 
     def adversary_stats(self) -> Dict[str, int]:
@@ -305,6 +321,8 @@ class FaultInjector:
     def _arm_crash(self, spec: CrashSpec) -> None:
         node = self.nodes.get(spec.replica)
         if node is None:
+            if self.local_only:
+                return  # armed by the shard hosting the replica
             raise KeyError(f"cannot crash unknown replica {spec.replica}")
 
         def _crash() -> None:

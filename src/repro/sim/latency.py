@@ -54,6 +54,21 @@ class LatencyModel:
     def delay(self, sender: int, receiver: int, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def min_delay(self, sender: int, receiver: int) -> float:
+        """Deterministic lower bound on :meth:`delay` for this pair.
+
+        The sharded runtime derives its conservative-synchronization
+        lookahead from this bound (see :mod:`repro.shard.lookahead`): the
+        contract is ``delay(s, r, rng) >= min_delay(s, r)`` for every RNG
+        state.  Models that cannot promise a bound must leave this
+        unimplemented, which makes the sharded runtime refuse the scenario
+        instead of silently desynchronizing.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} provides no deterministic delay lower "
+            "bound (required for the sharded runtime's lookahead)"
+        )
+
     def multicast_profile(self, sender: int, receivers) -> Optional[tuple]:
         """Optional fan-out fast path: ``(base_row, jitter)`` or None.
 
@@ -90,6 +105,9 @@ class UniformLatency(LatencyModel):
             return 0.0
         return self.base + (rng.random() * self.jitter if self.jitter else 0.0)
 
+    def min_delay(self, sender: int, receiver: int) -> float:
+        return 0.0 if sender == receiver else self.base
+
 
 class LanLatency(LatencyModel):
     """Single-datacenter latency: sub-millisecond with small jitter."""
@@ -102,6 +120,9 @@ class LanLatency(LatencyModel):
         if sender == receiver:
             return 0.0
         return self.base + rng.random() * self.jitter
+
+    def min_delay(self, sender: int, receiver: int) -> float:
+        return 0.0 if sender == receiver else self.base
 
     def multicast_profile(self, sender: int, receivers):
         """Constant row (self pairs are handled by the transport's no-draw
@@ -182,6 +203,11 @@ class WanLatency(LatencyModel):
             base = self._base_delay(self.region_of(sender), self.region_of(receiver))
             self._pair_base[index] = base
         return base + rng.random() * self.jitter
+
+    def min_delay(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            return 0.0
+        return self._base_delay(self.region_of(sender), self.region_of(receiver))
 
     def multicast_profile(self, sender: int, receivers):
         """(base_row, jitter) for the transport's fused fan-out.
@@ -281,6 +307,11 @@ class TopologyLatency(LatencyModel):
             return 0.0
         base = self._base_delay(self.region_of(sender), self.region_of(receiver))
         return base + (rng.random() * self.jitter if self.jitter else 0.0)
+
+    def min_delay(self, sender: int, receiver: int) -> float:
+        if sender == receiver:
+            return 0.0
+        return self._base_delay(self.region_of(sender), self.region_of(receiver))
 
     def describe(self) -> str:
         kind = "sym" if self.symmetric else "asym"

@@ -1,11 +1,12 @@
 """The rule registry.
 
-Four families, thirteen rules::
+Five families, fifteen rules::
 
-    SEAM-00x  sans-I/O architecture boundary   (rules/seam.py)
-    DET-00x   determinism sources              (rules/det.py)
-    ISO-00x   shared-state / aliasing          (rules/iso.py)
-    HOT-00x   hot-path hygiene                 (rules/hot.py)
+    SEAM-00x   sans-I/O architecture boundary        (rules/seam.py)
+    DET-00x    determinism sources                   (rules/det.py)
+    ISO-00x    shared-state / aliasing               (rules/iso.py)
+    HOT-00x    hot-path hygiene                      (rules/hot.py)
+    SHARD-00x  cross-process isolation (sharded DES) (rules/shard.py)
 
 plus the engine-level meta-ids ``SC-000`` (parse error) and ``SC-001``
 (suppression without a reason), which are not selectable rules.
@@ -20,9 +21,10 @@ from repro.staticcheck.rules.det import DET_RULES
 from repro.staticcheck.rules.hot import HOT_RULES
 from repro.staticcheck.rules.iso import ISO_RULES
 from repro.staticcheck.rules.seam import SEAM_RULES
+from repro.staticcheck.rules.shard import SHARD_RULES
 
 #: every registered rule, in catalog order
-ALL_RULES: Tuple[Rule, ...] = SEAM_RULES + DET_RULES + ISO_RULES + HOT_RULES
+ALL_RULES: Tuple[Rule, ...] = SEAM_RULES + DET_RULES + ISO_RULES + HOT_RULES + SHARD_RULES
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
 

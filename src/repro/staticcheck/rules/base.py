@@ -38,11 +38,22 @@ DES_REACHABLE_PACKAGES = SANS_IO_PACKAGES + (
     "metrics",
     "runtime",
     "fuzz",
+    "shard",
 )
 
 #: modules exempt from the determinism rules by design (the realtime backend
 #: *is* the wall clock)
 DET_EXEMPT_MODULES = ("repro.runtime.realtime",)
+
+#: the sharded-execution scope: the shard support package plus the hub
+#: runtime.  Everything here coordinates worker *processes*, so the SHARD
+#: rules police cross-process state and serialization discipline.
+SHARD_SCOPE_PACKAGES = ("shard",)
+SHARD_SCOPE_MODULES = ("repro.runtime.sharded",)
+
+#: the one module allowed to (un)pickle: IPC framing is centralised so the
+#: wire format — and the frozen-flyweight payload contract — has one owner
+SHARD_IPC_MODULE = "repro.shard.ipc"
 
 
 class Rule:

@@ -1,0 +1,171 @@
+"""SHARD rules: cross-process isolation for the sharded DES backend.
+
+The sharded runtime (PR 9) is conservative-parallel: worker processes only
+exchange *finished, immutable* delivery entries over pipes, synchronized by
+lookahead barriers.  Its safety argument leans on two structural facts:
+
+* **No shared mutable state** (SHARD-001).  Workers never see one
+  another's heaps; the hub routes opaque byte frames.  The moment someone
+  introduces a ``multiprocessing.Manager``/``Value``/``Array``/
+  ``shared_memory`` object, shard state can change *between* barriers and
+  the determinism proof (per-shard seeded RNG + barrier-ordered merges)
+  is void.
+* **One serialization chokepoint** (SHARD-002).  Only
+  :mod:`repro.shard.ipc` may import ``pickle``/``marshal``; everything
+  crossing a pipe goes through its ``encode_batch``/``decode_batch``
+  framing, which enforces the frozen-slots flyweight payload contract
+  (:func:`repro.shard.ipc.check_flyweight`).  Scattered ad hoc pickling
+  would silently widen the wire format and bypass that check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.rules.base import (
+    Rule,
+    SHARD_IPC_MODULE,
+    SHARD_SCOPE_MODULES,
+    SHARD_SCOPE_PACKAGES,
+    collect_imports,
+    resolve_call_target,
+    walk_with_context,
+)
+from repro.staticcheck.violations import Violation
+
+
+def _in_shard_scope(module) -> bool:
+    return (
+        module.package in SHARD_SCOPE_PACKAGES
+        or module.module in SHARD_SCOPE_MODULES
+    )
+
+
+#: multiprocessing shared-state factories, by attribute name — these create
+#: objects whose contents two processes can mutate concurrently (matched on
+#: any receiver so ``ctx.Manager()`` from a ``get_context`` handle is caught)
+SHARED_STATE_FACTORIES = frozenset(
+    {
+        "Manager",
+        "Value",
+        "Array",
+        "RawValue",
+        "RawArray",
+        "SharedMemory",
+        "ShareableList",
+    }
+)
+
+#: multiprocessing synchronisation primitives — a lock implies the shared
+#: state it guards (matched as dotted ``multiprocessing.*``/``ctx.*`` calls)
+SHARED_SYNC_FACTORIES = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition", "Barrier", "Event"}
+)
+
+#: module imports that exist only to share memory across processes
+SHARED_STATE_MODULES = (
+    "multiprocessing.shared_memory",
+    "multiprocessing.sharedctypes",
+    "multiprocessing.managers",
+)
+
+
+class ShardNoSharedStateRule(Rule):
+    id = "SHARD-001"
+    name = "no cross-shard shared mutable state"
+    scope = "repro.shard, repro.runtime.sharded"
+
+    def applies(self, module) -> bool:
+        return _in_shard_scope(module)
+
+    def check(self, module) -> Iterator[Violation]:
+        imports = collect_imports(module.tree)
+        for node, ctx in walk_with_context(module.tree):
+            if ctx.in_type_checking:
+                continue
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in _imported_modules(node):
+                    if any(
+                        name == m or name.startswith(m + ".")
+                        for m in SHARED_STATE_MODULES
+                    ):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"shared-memory module import ({name}); shards "
+                            "communicate only by message passing — frozen "
+                            "entries over pipes, framed by repro.shard.ipc",
+                        )
+                        break
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in SHARED_STATE_FACTORIES:
+                yield self.violation(
+                    module,
+                    node,
+                    f"cross-process shared state (.{func.attr}()); shard "
+                    "workers must stay share-nothing — state changing "
+                    "between barriers voids the lookahead safety argument",
+                )
+                continue
+            target = resolve_call_target(node, imports)
+            if target is not None:
+                head, _, attr = target.rpartition(".")
+                if attr in SHARED_SYNC_FACTORIES and (
+                    head == "multiprocessing" or head.startswith("multiprocessing.")
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"cross-process synchronisation primitive {target}(); "
+                        "a lock implies shared state — shards synchronise "
+                        "only at the hub's barrier rounds",
+                    )
+
+
+#: serializer modules whose use outside the IPC chokepoint is banned
+SERIALIZER_MODULES = ("pickle", "cPickle", "marshal", "dill", "cloudpickle", "shelve")
+
+
+class ShardPickleChokepointRule(Rule):
+    id = "SHARD-002"
+    name = "pickle only inside repro.shard.ipc"
+    scope = "repro.shard, repro.runtime.sharded"
+
+    def applies(self, module) -> bool:
+        return _in_shard_scope(module) and module.module != SHARD_IPC_MODULE
+
+    def check(self, module) -> Iterator[Violation]:
+        for node, ctx in walk_with_context(module.tree):
+            if ctx.in_type_checking:
+                continue
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for name in _imported_modules(node):
+                root = name.split(".")[0]
+                if root in SERIALIZER_MODULES:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"serializer import ({root}) outside {SHARD_IPC_MODULE}; "
+                        "all IPC payloads go through its encode/decode framing "
+                        "so the flyweight wire contract has one owner",
+                    )
+                    break
+
+
+def _imported_modules(node: ast.AST) -> Iterator[str]:
+    """Dotted module names a single import statement binds."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        yield node.module
+        for alias in node.names:
+            yield f"{node.module}.{alias.name}"
+
+
+SHARD_RULES = (ShardNoSharedStateRule(), ShardPickleChokepointRule())

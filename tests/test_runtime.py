@@ -57,7 +57,7 @@ def test_no_direct_simulator_or_network_imports(package):
 # ------------------------------------------------------------ the interface
 class TestBuildRuntime:
     def test_kinds(self):
-        assert RUNTIME_KINDS == ("des", "realtime")
+        assert RUNTIME_KINDS == ("des", "realtime", "sharded")
 
     def test_builds_each_kind(self):
         assert isinstance(build_runtime("des"), DESRuntime)

@@ -88,6 +88,16 @@ POSITIVE_FIXTURES = {
         "repro.metrics._fixture",
         "def f(x, acc=[]):\n    acc.append(x)\n    return acc\n",
     ),
+    "SHARD-001": (
+        "repro.shard._fixture",
+        "import multiprocessing\n\n"
+        "def hub():\n"
+        "    return multiprocessing.Manager().dict()\n",
+    ),
+    "SHARD-002": (
+        "repro.shard._fixture",
+        "import pickle\n\ndef encode(x):\n    return pickle.dumps(x)\n",
+    ),
 }
 
 #: rule id -> clean near-miss code in the same scope (must NOT fire that rule)
@@ -181,6 +191,21 @@ NEGATIVE_FIXTURES = {
         "    acc = [] if acc is None else acc\n"
         "    acc.append(x)\n"
         "    return acc\n",
+    ),
+    "SHARD-001": (
+        # message passing (Pipe/Process from a context) is the sanctioned
+        # idiom; only *shared* state is banned
+        "repro.shard._fixture",
+        "import multiprocessing\n\n"
+        "def spawn(entry):\n"
+        "    ctx = multiprocessing.get_context('fork')\n"
+        "    parent, child = ctx.Pipe(duplex=True)\n"
+        "    return ctx.Process(target=entry, args=(child,)), parent\n",
+    ),
+    "SHARD-002": (
+        # repro.shard.ipc is the chokepoint: pickling there is the point
+        "repro.shard.ipc",
+        "import pickle\n\ndef encode(x):\n    return pickle.dumps(x)\n",
     ),
 }
 
